@@ -1,0 +1,208 @@
+// Reproduces paper Figure 12: operator micro-benchmarks over the Sine and
+// Timestamp datasets with a time-range filter (selectivity 0.5).
+//   (a-b) Delta-only encoding: throughput vs thread count (scheduler
+//         simulation over measured single-core costs — DESIGN.md section 5).
+//   (c-d) Delta-Repeat: throughput vs run length — ETSQP's fused counting
+//         vs SBoost's flatten-everything.
+//   (e-f) Delta-Repeat-Packing: ETSQP-prune's cutoff effectiveness vs
+//         packing width (tighter width bounds -> more pruning).
+// FastLanes appears in every panel per the paper's discussion (4).
+
+#include <random>
+
+#include "baselines/fastlanes_exec.h"
+#include "bench/bench_util.h"
+#include "exec/engine.h"
+#include "exec/pipeline.h"
+#include "sim/sched_sim.h"
+#include "workload/generators.h"
+
+namespace etsqp {
+namespace {
+
+using bench::EndRow;
+using bench::PrintCell;
+using bench::PrintHeader;
+
+/// Builds a store holding one synthetic series with controllable run length
+/// and delta width: runs of `run_len` share one delta drawn from
+/// [0, 2^width).
+struct MicroData {
+  std::vector<int64_t> times;
+  std::vector<int64_t> values;
+};
+
+MicroData MakeRunData(size_t n, size_t run_len, int width, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  MicroData d;
+  d.times.resize(n);
+  d.values.resize(n);
+  int64_t t = 0;
+  int64_t v = 0;
+  size_t left = 0;
+  int64_t delta = 0;
+  bool up = true;
+  for (size_t i = 0; i < n; ++i) {
+    if (left == 0) {
+      left = run_len;
+      // Alternating-sign runs keep the walk zero-mean, so the value domain
+      // stays bounded as the packing width grows (the paper's (e-f) sweep
+      // varies width while "data points stay unvaried").
+      delta = static_cast<int64_t>(rng() & ((1ull << width) - 1));
+      if (!up) delta = -delta;
+      up = !up;
+    }
+    t += 1;
+    v += delta;
+    --left;
+    d.times[i] = t;
+    d.values[i] = v;
+  }
+  return d;
+}
+
+storage::SeriesStore MakeStore(const MicroData& d, enc::ColumnEncoding venc,
+                               uint32_t page_size = 16384) {
+  storage::SeriesStore store;
+  storage::SeriesStore::SeriesOptions opt;
+  opt.page_size = page_size;
+  opt.page.value_encoding = venc;
+  if (!store.CreateSeries("s", opt).ok()) std::abort();
+  if (!store.AppendBatch("s", d.times.data(), d.values.data(), d.times.size())
+           .ok()) {
+    std::abort();
+  }
+  if (!store.Flush().ok()) std::abort();
+  return store;
+}
+
+double MeasureThroughput(const storage::SeriesStore& store,
+                         const exec::PipelineOptions& options,
+                         const exec::LogicalPlan& plan) {
+  exec::Engine engine(options);
+  exec::QueryStats stats;
+  double secs = bench::TimeBest(
+      [&] {
+        auto result = engine.Execute(plan, store);
+        if (!result.ok()) std::abort();
+        stats = result.value().stats;
+      },
+      0.03, 7);
+  return bench::Throughput(stats, secs);
+}
+
+exec::LogicalPlan HalfRangePlan(const MicroData& d) {
+  exec::LogicalPlan plan = exec::LogicalPlan::Aggregate("s",
+                                                        exec::AggFunc::kSum);
+  // Time-range filter with selectivity 0.5 (paper default).
+  plan.time_filter.lo = d.times[d.times.size() / 4];
+  plan.time_filter.hi = d.times[d.times.size() * 3 / 4];
+  return plan;
+}
+
+}  // namespace
+}  // namespace etsqp
+
+int main() {
+  using namespace etsqp;
+  size_t n = static_cast<size_t>(400'000 * bench::BenchScale());
+
+  // ---- (a-b) Delta-only: thread scaling via the scheduler simulator.
+  for (const char* label : {"Sine-like", "Timestamp-like"}) {
+    bool sine = std::string(label) == "Sine-like";
+    MicroData d = MakeRunData(n, 1, sine ? 12 : 7, sine ? 1 : 2);
+    storage::SeriesStore ts = MakeStore(d, enc::ColumnEncoding::kTs2Diff);
+    exec::LogicalPlan plan = HalfRangePlan(d);
+
+    auto page_costs = [&](const exec::PipelineOptions& opt) {
+      auto s = ts.GetSeries("s");
+      std::vector<double> costs;
+      for (const storage::Page& page : s.value()->pages) {
+        costs.push_back(bench::TimeBest(
+            [&] {
+              exec::AggAccum a;
+              exec::QueryStats st;
+              if (!exec::AggregateSlice(page, 0, page.header.count,
+                                        plan.time_filter, exec::ValueRange{},
+                                        exec::AggFunc::kSum, opt, &a, &st)
+                       .ok()) {
+                std::abort();
+              }
+            },
+            0.01, 5));
+      }
+      return costs;
+    };
+    std::vector<double> etsqp_costs = page_costs(exec::EtsqpOptions(1));
+    std::vector<double> sboost_costs = page_costs(exec::SboostOptions(1));
+
+    PrintHeader(std::string("Figure 12(a-b) Delta-only, ") + label +
+                    ": tuples/s vs threads",
+                {"Threads", "ETSQP", "SBoost"});
+    for (int p : {1, 2, 4, 8, 16}) {
+      std::vector<sim::SimJob> ej;
+      if (etsqp_costs.size() >= static_cast<size_t>(p)) {
+        ej = sim::JobsFromCosts(etsqp_costs);
+      } else {
+        ej = sim::SlicedJobs(etsqp_costs,
+                             (p + static_cast<int>(etsqp_costs.size()) - 1) /
+                                 static_cast<int>(etsqp_costs.size()),
+                             2e-7, false);
+      }
+      auto re = sim::Simulate(ej, p, sim::SchedulePolicy::kSharedQueue);
+      auto sj = sim::SlicedJobs(sboost_costs, p, 2e-7, true);
+      auto rs = sim::Simulate(sj, p, sim::SchedulePolicy::kStaticPartition);
+      PrintCell(static_cast<double>(p));
+      PrintCell(static_cast<double>(n) / re.makespan);
+      PrintCell(static_cast<double>(n) / rs.makespan);
+      EndRow();
+    }
+  }
+
+  // ---- (c-d) Delta-Repeat: run-length sweep.
+  PrintHeader("Figure 12(c-d) Delta-Repeat: tuples/s vs run length",
+              {"RunLength", "ETSQP(fused)", "SBoost(flatten)", "FastLanes"});
+  for (size_t run : {1ul, 4ul, 16ul, 64ul, 256ul, 1024ul}) {
+    MicroData d = MakeRunData(n, run, 6, 77 + run);
+    storage::SeriesStore dr = MakeStore(d, enc::ColumnEncoding::kDeltaRle);
+    storage::SeriesStore fl = MakeStore(d, enc::ColumnEncoding::kFastLanes);
+    // FastLanes also needs its time column in FLMM layout.
+    exec::LogicalPlan plan = HalfRangePlan(d);
+    PrintCell(static_cast<double>(run));
+    PrintCell(MeasureThroughput(dr, exec::EtsqpOptions(1), plan));
+    PrintCell(MeasureThroughput(dr, exec::SboostOptions(1), plan));
+    PrintCell(MeasureThroughput(fl, exec::FastLanesOptions(1), plan));
+    EndRow();
+  }
+
+  // ---- (e-f) Delta-Repeat-Packing: packing width sweep with a value
+  // filter whose satisfying range sits at the top of the domain, so tighter
+  // width bounds prune more blocks (Proposition 5).
+  PrintHeader(
+      "Figure 12(e-f) Delta-Repeat-Packing: tuples/s vs packing width",
+      {"Width", "ETSQP", "ETSQP-prune", "SBoost", "FastLanes"});
+  for (int width : {2, 4, 8, 12, 16, 20}) {
+    MicroData d = MakeRunData(n, 16, width, 99 + width);
+    storage::SeriesStore dr =
+        MakeStore(d, enc::ColumnEncoding::kTs2Diff, 4096);
+    storage::SeriesStore fl = MakeStore(d, enc::ColumnEncoding::kFastLanes);
+    exec::LogicalPlan plan = exec::LogicalPlan::Aggregate(
+        "s", exec::AggFunc::kSum);
+    plan.value_filter.active = true;
+    plan.value_filter.lo = d.values[d.values.size() / 2];  // upper half only
+    PrintCell(static_cast<double>(width));
+    PrintCell(MeasureThroughput(dr, exec::EtsqpOptions(1), plan));
+    PrintCell(MeasureThroughput(dr, exec::EtsqpPruneOptions(1), plan));
+    PrintCell(MeasureThroughput(dr, exec::SboostOptions(1), plan));
+    PrintCell(MeasureThroughput(fl, exec::FastLanesOptions(1), plan));
+    EndRow();
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig. 12): (a-b) ETSQP's thread gains exceed"
+      "\nSBoost's; (c-d) larger runs widen ETSQP's fused-aggregation lead"
+      "\n(O(1) per run vs flatten) while FastLanes stays flat; (e-f) pruning"
+      "\ngains shrink as packing width grows (looser Prop. 5 bounds), and"
+      "\nFastLanes hits its I/O bottleneck at large widths.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces paper Figure 13: system-deployment comparison of time-range and
+// value-range aggregation queries across the Table II datasets:
+//   IoTDB       = IotDbLite in scalar mode (serial decoding)
+//   IoTDB-SIMD  = IotDbLite with the integrated ETSQP engine
+//   MonetDB     = block engine (LZ columns, decompress-then-operate)
+//   Spark/HDFS  = row engine (LZ row splits + per-query codegen latency)
+// Reported: query latency (ms) per system, plus compressed footprint.
+
+#include "bench/bench_util.h"
+#include "db/block_engine.h"
+#include "db/iotdb_lite.h"
+#include "db/row_engine.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace etsqp;
+  using bench::EndRow;
+  using bench::PrintCell;
+  using bench::PrintHeader;
+
+  double scale = 0.05 * bench::BenchScale();
+  std::vector<workload::Dataset> datasets = workload::MakeAllDatasets(scale);
+
+  for (const char* qkind : {"time-range", "value-range"}) {
+    PrintHeader(std::string("Figure 13 (") + qkind +
+                    " query): latency ms (lower is better)",
+                {"Dataset", "IoTDB", "IoTDB-SIMD", "MonetDB", "Spark/HDFS"});
+    for (const workload::Dataset& ds : datasets) {
+      const workload::SeriesData& s = ds.series[0];
+      db::IotDbLite iotdb(db::IotDbLite::Mode::kScalar);
+      db::IotDbLite iotdb_simd(db::IotDbLite::Mode::kSimd);
+      db::BlockEngine monet;
+      db::RowEngine::Options row_opt;
+      row_opt.query_setup_ms = 30.0 * bench::BenchScale();
+      db::RowEngine spark(row_opt);
+      for (auto* dbp : {&iotdb, &iotdb_simd}) {
+        if (!dbp->CreateTimeseries("x").ok()) return 1;
+        if (!dbp->InsertBatch("x", s.times.data(), s.values.data(),
+                              s.times.size())
+                 .ok()) {
+          return 1;
+        }
+        if (!dbp->Flush().ok()) return 1;
+      }
+      if (!monet.CreateSeries("x").ok()) return 1;
+      if (!monet.AppendBatch("x", s.times.data(), s.values.data(),
+                             s.times.size())
+               .ok()) {
+        return 1;
+      }
+      if (!spark.CreateSeries("x").ok()) return 1;
+      if (!spark.AppendBatch("x", s.times.data(), s.values.data(),
+                             s.times.size())
+               .ok()) {
+        return 1;
+      }
+
+      bool time_query = std::string(qkind) == "time-range";
+      exec::TimeRange tr;
+      exec::ValueRange vr;
+      if (time_query) {
+        tr.lo = s.times[s.times.size() / 4];
+        tr.hi = s.times[3 * s.times.size() / 4];
+      } else {
+        vr.active = true;
+        std::vector<int64_t> sorted = s.values;
+        std::sort(sorted.begin(), sorted.end());
+        vr.lo = sorted[sorted.size() / 4];
+        vr.hi = sorted[3 * sorted.size() / 4];
+      }
+      char sql[256];
+      if (time_query) {
+        std::snprintf(sql, sizeof(sql),
+                      "SELECT SUM(v) FROM x WHERE time >= %lld AND time <= "
+                      "%lld",
+                      static_cast<long long>(tr.lo),
+                      static_cast<long long>(tr.hi));
+      } else {
+        std::snprintf(sql, sizeof(sql),
+                      "SELECT SUM(v) FROM x WHERE v >= %lld AND v <= %lld",
+                      static_cast<long long>(vr.lo),
+                      static_cast<long long>(vr.hi));
+      }
+
+      PrintCell(ds.name);
+      for (auto* dbp : {&iotdb, &iotdb_simd}) {
+        double secs = bench::TimeBest(
+            [&] {
+              if (!dbp->Query(sql).ok()) std::abort();
+            },
+            0.03, 7);
+        PrintCell(secs * 1e3);
+      }
+      {
+        double secs = bench::TimeBest(
+            [&] {
+              if (!monet.Aggregate("x", exec::AggFunc::kSum, tr, vr).ok()) {
+                std::abort();
+              }
+            },
+            0.03, 7);
+        PrintCell(secs * 1e3);
+      }
+      {
+        // One run: the fixed setup latency dominates and repeats add nothing.
+        bench::Timer t;
+        if (!spark.Aggregate("x", exec::AggFunc::kSum, tr, vr).ok()) {
+          std::abort();
+        }
+        PrintCell(t.Seconds() * 1e3);
+      }
+      EndRow();
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 13 / Section VII-E): IoTDB-SIMD 10-40%%"
+      "\nfaster than scalar IoTDB on simple queries; both beat MonetDB-style"
+      "\nblock decompression (generic codec = more I/O + materialization)"
+      "\nand Spark/HDFS (setup latency + inefficient compressor).\n");
+  return 0;
+}

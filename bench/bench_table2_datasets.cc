@@ -1,0 +1,53 @@
+// Reproduces paper Table II: dataset statistics (name, label, size, #attr,
+// category), extended with the achieved TS2DIFF compression ratio after
+// ingestion — confirming the generators land in the intended delta regimes.
+
+#include "bench/bench_util.h"
+#include "storage/series_store.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace etsqp;
+  using bench::EndRow;
+  using bench::PrintCell;
+  using bench::PrintHeader;
+
+  double scale = 0.1 * bench::BenchScale();
+  std::vector<workload::Dataset> datasets = workload::MakeAllDatasets(scale);
+
+  PrintHeader("Table II: dataset statistics",
+              {"Name", "Label", "PaperRows", "BenchRows", "#Attr",
+               "Category", "enc/raw"});
+  const char* categories[6] = {"IoT",       "IoT", "IoT, Open",
+                               "IoT",       "Generated", "Generated"};
+  const char* names[6] = {"Atmosphere", "Climate", "Gas",
+                          "Timestamp",  "Sine-function", "TPC-H"};
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    const workload::Dataset& ds = datasets[d];
+    storage::SeriesStore store;
+    auto loaded = workload::LoadDataset(ds, {}, &store);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t encoded = 0;
+    for (const std::string& name : loaded.value()) {
+      encoded += store.EncodedBytes(name);
+    }
+    double raw = static_cast<double>(ds.rows()) * ds.num_attrs() * 16.0;
+    PrintCell(names[d]);
+    PrintCell(ds.name);
+    PrintCell(static_cast<double>(ds.paper_rows));
+    PrintCell(static_cast<double>(ds.rows()));
+    PrintCell(static_cast<double>(ds.num_attrs()));
+    PrintCell(categories[d]);
+    PrintCell(static_cast<double>(encoded) / raw);
+    EndRow();
+  }
+  std::printf(
+      "\nExpected shape: labels/attribute counts match Table II; bench rows"
+      "\nare scaled (see DESIGN.md section 5); regular Timestamp data"
+      "\ncompresses hardest, value-distribution TPCH the least.\n");
+  return 0;
+}

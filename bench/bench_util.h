@@ -1,0 +1,88 @@
+#ifndef ETSQP_BENCH_BENCH_UTIL_H_
+#define ETSQP_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+
+namespace etsqp::bench {
+
+/// Wall-clock timer (steady clock), seconds.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until ~`min_seconds` elapse (at least once) and
+/// returns the best per-iteration time (paper-style steady-state timing).
+inline double TimeBest(const std::function<void()>& fn,
+                       double min_seconds = 0.2, int max_iters = 50) {
+  double best = 1e100;
+  double total = 0;
+  for (int i = 0; i < max_iters && (total < min_seconds || i < 3); ++i) {
+    Timer t;
+    fn();
+    double s = t.Seconds();
+    total += s;
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+/// Throughput in tuples/second given the paper's metric: tuples of loaded
+/// pages per second, *counting* tuples of pruned pages or slices
+/// (Section VII-B).
+inline double Throughput(const exec::QueryStats& stats, double seconds) {
+  return seconds > 0 ? static_cast<double>(stats.tuples_in_pages) / seconds
+                     : 0.0;
+}
+
+/// Global benchmark scale factor (ETSQP_BENCH_SCALE, default 1.0 applied to
+/// the library's already-scaled Table II defaults).
+inline double BenchScale() {
+  const char* env = std::getenv("ETSQP_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+/// Fixed-width table printing.
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& cols) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const std::string& c : cols) std::printf("%-16s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < cols.size(); ++i) std::printf("%-16s", "----");
+  std::printf("\n");
+}
+
+inline void PrintCell(const std::string& s) { std::printf("%-16s", s.c_str()); }
+inline void PrintCell(double v) {
+  char buf[32];
+  if (v == 0) {
+    std::snprintf(buf, sizeof(buf), "0");
+  } else if (std::abs(v) >= 1e6 || (std::abs(v) < 1e-2 && v != 0)) {
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  std::printf("%-16s", buf);
+}
+inline void EndRow() { std::printf("\n"); }
+
+}  // namespace etsqp::bench
+
+#endif  // ETSQP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,20 @@
+#include "baselines/fastlanes_exec.h"
+
+namespace etsqp::baselines {
+
+storage::SeriesStore::SeriesOptions FastLanesSeriesOptions(
+    uint32_t page_size) {
+  storage::SeriesStore::SeriesOptions options;
+  options.page_size = page_size;
+  options.page.time_encoding = enc::ColumnEncoding::kFastLanes;
+  options.page.value_encoding = enc::ColumnEncoding::kFastLanes;
+  return options;
+}
+
+Result<std::vector<std::string>> LoadDatasetFastLanes(
+    const workload::Dataset& ds, storage::SeriesStore* store,
+    uint32_t page_size) {
+  return workload::LoadDataset(ds, FastLanesSeriesOptions(page_size), store);
+}
+
+}  // namespace etsqp::baselines

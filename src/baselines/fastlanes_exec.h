@@ -1,0 +1,25 @@
+#ifndef ETSQP_BASELINES_FASTLANES_EXEC_H_
+#define ETSQP_BASELINES_FASTLANES_EXEC_H_
+
+#include "common/status.h"
+#include "storage/series_store.h"
+#include "workload/generators.h"
+
+namespace etsqp::baselines {
+
+/// FastLanes baseline setup (baseline (4)): the same data re-encoded into
+/// the FLMM1024 layout. FastLanes decodes fast but, per the paper's
+/// analysis, pays a lower compression ratio (raw 32-value base rows, block-
+/// wide widths, 1024-padding of short series) — which the throughput metric
+/// (tuples of *loaded* pages per second) exposes as an I/O bottleneck.
+storage::SeriesStore::SeriesOptions FastLanesSeriesOptions(
+    uint32_t page_size = 4096);
+
+/// Loads `ds` into `store` with FLMM1024 encoding for both columns.
+Result<std::vector<std::string>> LoadDatasetFastLanes(
+    const workload::Dataset& ds, storage::SeriesStore* store,
+    uint32_t page_size = 4096);
+
+}  // namespace etsqp::baselines
+
+#endif  // ETSQP_BASELINES_FASTLANES_EXEC_H_

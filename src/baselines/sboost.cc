@@ -1,0 +1,58 @@
+#include "baselines/sboost.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/cpu.h"
+#include "simd/filter_simd.h"
+#include "simd/unpack.h"
+
+namespace etsqp::baselines {
+
+void SboostFilterPacked(const uint8_t* data, size_t data_size, size_t n,
+                        int width, uint32_t lo, uint32_t hi, uint64_t* mask) {
+  // Vector-at-a-time: unpack 64 values into a stack buffer, compare, emit
+  // one mask word — values never hit a heap-materialized column.
+  size_t words = CeilDiv(n, 64);
+  std::memset(mask, 0, words * sizeof(uint64_t));
+  alignas(32) uint32_t buf[64];
+  size_t pos_bits = 0;
+  for (size_t w = 0; w < words; ++w) {
+    size_t count = std::min<size_t>(64, n - w * 64);
+    // The packed run for 64 values starts at bit w*64*width — byte aligned
+    // iff width*8 | pos; use the generic offset-aware scalar for odd tails
+    // and the SIMD kernel when byte-aligned.
+    if ((pos_bits & 7) == 0) {
+      simd::UnpackBE32(data + (pos_bits >> 3), data_size - (pos_bits >> 3),
+                       count, width, buf);
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        size_t bit = pos_bits + i * static_cast<size_t>(width);
+        uint64_t v = 0;
+        for (int b = 0; b < width; ++b) {
+          size_t p = bit + b;
+          v = (v << 1) | ((data[p >> 3] >> (7 - (p & 7))) & 1);
+        }
+        buf[i] = static_cast<uint32_t>(v);
+      }
+    }
+    uint64_t word = 0;
+    simd::RangeFilterMaskInt32(reinterpret_cast<const int32_t*>(buf), count,
+                               static_cast<int32_t>(lo),
+                               static_cast<int32_t>(hi), &word);
+    mask[w] = word;
+    pos_bits += 64 * static_cast<size_t>(width);
+  }
+}
+
+size_t SboostCountPacked(const uint8_t* data, size_t data_size, size_t n,
+                         int width, uint32_t lo, uint32_t hi) {
+  size_t words = CeilDiv(n, 64);
+  std::vector<uint64_t> mask(words);
+  SboostFilterPacked(data, data_size, n, width, lo, hi, mask.data());
+  return simd::CountMaskBits(mask.data(), n);
+}
+
+}  // namespace etsqp::baselines

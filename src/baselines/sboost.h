@@ -1,0 +1,27 @@
+#ifndef ETSQP_BASELINES_SBOOST_H_
+#define ETSQP_BASELINES_SBOOST_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace etsqp::baselines {
+
+/// SBoost-style predicate evaluation directly on bit-packed data (Jiang &
+/// Elmore, DaMoN'18 — baseline (5)). The packed values are unpacked into
+/// SIMD registers vector-at-a-time and compared in-register without
+/// materializing a decoded array; the output is a selection bitmask. This is
+/// SBoost's core "filter on columnar encoding" capability, which ETSQP
+/// extends with layout co-design and decoder fusion.
+///
+/// mask[i] = (lo <= value_i <= hi), for `n` Big-Endian `width`-bit values at
+/// `data` (32 bytes of readable slack required). Mask words LSB-first.
+void SboostFilterPacked(const uint8_t* data, size_t data_size, size_t n,
+                        int width, uint32_t lo, uint32_t hi, uint64_t* mask);
+
+/// Count-only variant (no mask materialization).
+size_t SboostCountPacked(const uint8_t* data, size_t data_size, size_t n,
+                         int width, uint32_t lo, uint32_t hi);
+
+}  // namespace etsqp::baselines
+
+#endif  // ETSQP_BASELINES_SBOOST_H_

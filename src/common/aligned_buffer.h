@@ -1,0 +1,60 @@
+#ifndef ETSQP_COMMON_ALIGNED_BUFFER_H_
+#define ETSQP_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace etsqp {
+
+/// Heap buffer aligned to a cache line (64 bytes) with trailing slack so SIMD
+/// loads that read a full vector starting at any in-bounds byte never fault.
+/// Decoders load 32-byte vectors whose window may extend past the last
+/// meaningful byte; `kSlackBytes` of zero padding makes that safe.
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;
+  static constexpr size_t kSlackBytes = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t size) { Resize(size); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept { MoveFrom(&other); }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  ~AlignedBuffer() { Free(); }
+
+  /// Reallocates to `size` logical bytes (plus slack). Contents are not
+  /// preserved; the whole allocation (including slack) is zeroed.
+  void Resize(size_t size);
+
+  /// Copies `size` bytes from `src` into a fresh allocation.
+  void Assign(const uint8_t* src, size_t size);
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  void Free();
+  void MoveFrom(AlignedBuffer* other) {
+    data_ = other->data_;
+    size_ = other->size_;
+    other->data_ = nullptr;
+    other->size_ = 0;
+  }
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace etsqp
+
+#endif  // ETSQP_COMMON_ALIGNED_BUFFER_H_

@@ -1,0 +1,40 @@
+#include "common/cpu.h"
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace etsqp {
+
+namespace {
+
+bool DetectAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 5)) != 0;  // CPUID.(EAX=07H,ECX=0H):EBX.AVX2[bit 5]
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool> g_simd_disabled{false};
+
+}  // namespace
+
+bool CpuHasAvx2() {
+  static const bool has = DetectAvx2();
+  return has;
+}
+
+void SetSimdDisabledForTesting(bool disabled) {
+  g_simd_disabled.store(disabled, std::memory_order_relaxed);
+}
+
+bool SimdDisabledForTesting() {
+  return g_simd_disabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace etsqp

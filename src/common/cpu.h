@@ -1,0 +1,22 @@
+#ifndef ETSQP_COMMON_CPU_H_
+#define ETSQP_COMMON_CPU_H_
+
+namespace etsqp {
+
+/// Runtime CPU feature detection. Kernels in src/simd dispatch between the
+/// AVX2 path and a portable scalar fallback based on these (and on the
+/// process-wide override below, which tests and the ablation benches use to
+/// force the scalar path).
+bool CpuHasAvx2();
+
+/// When set, SIMD dispatchers behave as if AVX2 were absent. Not thread-safe
+/// with concurrent queries; intended for test setup and benchmarks.
+void SetSimdDisabledForTesting(bool disabled);
+bool SimdDisabledForTesting();
+
+/// True when the AVX2 path will actually be used.
+inline bool UseAvx2() { return CpuHasAvx2() && !SimdDisabledForTesting(); }
+
+}  // namespace etsqp
+
+#endif  // ETSQP_COMMON_CPU_H_

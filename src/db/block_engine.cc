@@ -1,0 +1,118 @@
+#include "db/block_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "encoding/generic_compress.h"
+#include "exec/pipeline.h"
+
+namespace etsqp::db {
+
+namespace {
+
+std::vector<uint8_t> CompressInts(const std::vector<int64_t>& v) {
+  return enc::LzCompress(reinterpret_cast<const uint8_t*>(v.data()),
+                         v.size() * sizeof(int64_t));
+}
+
+Status DecompressInts(const std::vector<uint8_t>& lz, size_t rows,
+                      std::vector<int64_t>* out) {
+  out->resize(rows);
+  return enc::LzDecompress(lz.data(), lz.size(),
+                           reinterpret_cast<uint8_t*>(out->data()),
+                           rows * sizeof(int64_t));
+}
+
+}  // namespace
+
+Status BlockEngine::CreateSeries(const std::string& name) {
+  if (columns_.count(name) != 0) {
+    return Status::InvalidArgument("series exists: " + name);
+  }
+  columns_[name] = Column{};
+  return Status::Ok();
+}
+
+Status BlockEngine::FlushColumn(Column* col) const {
+  if (col->buf_times.empty()) return Status::Ok();
+  Block blk;
+  blk.rows = static_cast<uint32_t>(col->buf_times.size());
+  blk.min_time = col->buf_times.front();
+  blk.max_time = col->buf_times.back();
+  blk.time_lz = CompressInts(col->buf_times);
+  blk.value_lz = CompressInts(col->buf_values);
+  col->blocks.push_back(std::move(blk));
+  col->buf_times.clear();
+  col->buf_values.clear();
+  return Status::Ok();
+}
+
+Status BlockEngine::AppendBatch(const std::string& name, const int64_t* times,
+                                const int64_t* values, size_t n) {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) return Status::NotFound("series: " + name);
+  Column& col = it->second;
+  for (size_t i = 0; i < n; ++i) {
+    col.buf_times.push_back(times[i]);
+    col.buf_values.push_back(values[i]);
+    if (col.buf_times.size() >= options_.block_rows) {
+      ETSQP_RETURN_IF_ERROR(FlushColumn(&col));
+    }
+  }
+  return FlushColumn(&col);
+}
+
+Result<exec::QueryResult> BlockEngine::Aggregate(
+    const std::string& name, exec::AggFunc func,
+    const exec::TimeRange& trange, const exec::ValueRange& vrange) const {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) return Status::NotFound("series: " + name);
+  const Column& col = it->second;
+
+  exec::QueryResult result;
+  exec::AggAccum accum;
+  const bool need_sq = func == exec::AggFunc::kVariance;
+  std::vector<int64_t> t, v;
+  for (const Block& blk : col.blocks) {
+    ++result.stats.pages_total;
+    result.stats.tuples_in_pages += blk.rows;
+    if (!trange.Overlaps(blk.min_time, blk.max_time)) {
+      ++result.stats.pages_pruned;
+      continue;
+    }
+    result.stats.bytes_loaded += blk.time_lz.size() + blk.value_lz.size();
+    // Whole-block decompress-then-operate (the MonetDB execution model:
+    // materialize, then scan).
+    ETSQP_RETURN_IF_ERROR(DecompressInts(blk.time_lz, blk.rows, &t));
+    ETSQP_RETURN_IF_ERROR(DecompressInts(blk.value_lz, blk.rows, &v));
+    result.stats.tuples_scanned += blk.rows;
+    size_t lo = std::lower_bound(t.begin(), t.end(), trange.lo) - t.begin();
+    size_t hi = std::upper_bound(t.begin(), t.end(), trange.hi) - t.begin();
+    for (size_t i = lo; i < hi; ++i) {
+      if (vrange.Contains(v[i])) accum.AddValue(v[i], need_sq);
+    }
+  }
+  double out = 0;
+  Status st = accum.Finalize(func, &out);
+  result.column_names = {exec::AggFuncName(func)};
+  result.columns.assign(1, {});
+  if (st.ok()) {
+    result.columns[0].push_back(out);
+  } else if (st.code() == StatusCode::kOverflow) {
+    return st;
+  }
+  result.stats.result_tuples = result.num_rows();
+  return result;
+}
+
+uint64_t BlockEngine::CompressedBytes(const std::string& name) const {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) return 0;
+  uint64_t total = 0;
+  for (const Block& blk : it->second.blocks) {
+    total += blk.time_lz.size() + blk.value_lz.size();
+  }
+  return total;
+}
+
+}  // namespace etsqp::db

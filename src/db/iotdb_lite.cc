@@ -1,0 +1,146 @@
+#include "db/iotdb_lite.h"
+
+#include "sql/planner.h"
+#include "storage/tsfile.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace etsqp::db {
+
+namespace {
+
+exec::PipelineOptions ModeOptions(IotDbLite::Mode mode, int threads) {
+  if (mode == IotDbLite::Mode::kScalar) {
+    return exec::SerialOptions();
+  }
+  exec::PipelineOptions o = exec::EtsqpPruneOptions(threads);
+  return o;
+}
+
+}  // namespace
+
+IotDbLite::IotDbLite(Mode mode, int threads)
+    : engine_(ModeOptions(mode, threads)) {}
+
+Status IotDbLite::CreateTimeseries(const std::string& name,
+                                   uint32_t page_size) {
+  storage::SeriesStore::SeriesOptions options;
+  options.page_size = page_size;
+  return store_.CreateSeries(name, options);
+}
+
+Status IotDbLite::CreateTimeseries(
+    const std::string& name,
+    const storage::SeriesStore::SeriesOptions& options) {
+  return store_.CreateSeries(name, options);
+}
+
+Status IotDbLite::CreateFloatTimeseries(const std::string& name,
+                                        enc::ColumnEncoding encoding,
+                                        uint32_t page_size) {
+  if (!enc::IsFloatEncoding(encoding)) {
+    return Status::InvalidArgument("not a float encoding");
+  }
+  storage::SeriesStore::SeriesOptions options;
+  options.page_size = page_size;
+  options.page.value_encoding = encoding;
+  return store_.CreateSeries(name, options);
+}
+
+Status IotDbLite::InsertF64(const std::string& name, int64_t time,
+                            double value) {
+  return store_.AppendF64(name, time, value);
+}
+
+Status IotDbLite::InsertBatchF64(const std::string& name,
+                                 const int64_t* times, const double* values,
+                                 size_t n) {
+  return store_.AppendBatchF64(name, times, values, n);
+}
+
+Status IotDbLite::Insert(const std::string& name, int64_t time,
+                         int64_t value) {
+  return store_.Append(name, time, value);
+}
+
+Status IotDbLite::InsertBatch(const std::string& name, const int64_t* times,
+                              const int64_t* values, size_t n) {
+  return store_.AppendBatch(name, times, values, n);
+}
+
+Status IotDbLite::Flush() { return store_.Flush(); }
+
+Status IotDbLite::Save(const std::string& path) const {
+  return storage::WriteTsFile(store_, path);
+}
+
+Status IotDbLite::Load(const std::string& path) {
+  return storage::ReadTsFile(path, &store_);
+}
+
+Status IotDbLite::ImportCsv(const std::string& series,
+                            const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("open: " + path);
+  char line[256];
+  size_t lineno = 0;
+  Status status;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    // Skip a header or blank line.
+    if (lineno == 1 && !std::isdigit(static_cast<unsigned char>(line[0])) &&
+        line[0] != '-') {
+      continue;
+    }
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    char* comma = std::strchr(line, ',');
+    if (comma == nullptr) {
+      status = Status::InvalidArgument("csv: missing comma at line " +
+                                       std::to_string(lineno));
+      break;
+    }
+    errno = 0;
+    char* end = nullptr;
+    long long t = std::strtoll(line, &end, 10);
+    long long v = std::strtoll(comma + 1, &end, 10);
+    if (errno != 0) {
+      status = Status::InvalidArgument("csv: bad number at line " +
+                                       std::to_string(lineno));
+      break;
+    }
+    status = Insert(series, t, v);
+    if (!status.ok()) break;
+  }
+  std::fclose(f);
+  return status;
+}
+
+Status IotDbLite::ExportCsv(const std::string& series,
+                            const std::string& path) const {
+  Result<exec::LogicalPlan> plan = sql::PlanQuery("SELECT * FROM " + series);
+  if (!plan.ok()) return plan.status();
+  Result<exec::QueryResult> result = engine_.Execute(plan.value(), store_);
+  if (!result.ok()) return result.status();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("open for write: " + path);
+  std::fprintf(f, "time,value\n");
+  const exec::QueryResult& qr = result.value();
+  for (size_t r = 0; r < qr.num_rows(); ++r) {
+    std::fprintf(f, "%lld,%lld\n",
+                 static_cast<long long>(qr.columns[0][r]),
+                 static_cast<long long>(qr.columns[1][r]));
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Result<exec::QueryResult> IotDbLite::Query(const std::string& sql) const {
+  Result<exec::LogicalPlan> plan = sql::PlanQuery(sql);
+  if (!plan.ok()) return plan.status();
+  return engine_.Execute(plan.value(), store_);
+}
+
+}  // namespace etsqp::db

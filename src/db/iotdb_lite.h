@@ -1,0 +1,71 @@
+#ifndef ETSQP_DB_IOTDB_LITE_H_
+#define ETSQP_DB_IOTDB_LITE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exec/engine.h"
+#include "storage/series_store.h"
+
+namespace etsqp::db {
+
+/// IotDbLite: the system-integration layer of paper Section VI — a minimal
+/// IoT database with the IoTDB storage model (buffered ingestion, separately
+/// encoded pages) and a SQL front end whose plans execute through Pipe
+/// (Algorithm 2) on the ETSQP engine.
+///
+/// The Figure 13 comparison maps to engine modes:
+///   IoTDB       = Mode::kScalar  (serial decoding, no vector sharing)
+///   IoTDB-SIMD  = Mode::kSimd    (this paper's integrated engine)
+class IotDbLite {
+ public:
+  enum class Mode { kScalar, kSimd };
+
+  explicit IotDbLite(Mode mode = Mode::kSimd, int threads = 1);
+
+  /// Creates a time series with the default TS2DIFF page encoding.
+  Status CreateTimeseries(const std::string& name,
+                          uint32_t page_size = 4096);
+  Status CreateTimeseries(const std::string& name,
+                          const storage::SeriesStore::SeriesOptions& options);
+
+  Status Insert(const std::string& name, int64_t time, int64_t value);
+  Status InsertBatch(const std::string& name, const int64_t* times,
+                     const int64_t* values, size_t n);
+
+  /// Float (double) series: values compressed with an XOR/pattern encoder
+  /// (Gorilla by default; Chimp/Elf via the options overload).
+  Status CreateFloatTimeseries(
+      const std::string& name,
+      enc::ColumnEncoding encoding = enc::ColumnEncoding::kGorillaValue,
+      uint32_t page_size = 4096);
+  Status InsertF64(const std::string& name, int64_t time, double value);
+  Status InsertBatchF64(const std::string& name, const int64_t* times,
+                        const double* values, size_t n);
+  Status Flush();
+
+  /// Parses and executes one SQL statement (Table III dialect).
+  Result<exec::QueryResult> Query(const std::string& sql) const;
+
+  /// Persists all (flushed) series to a TsFile / loads one written earlier.
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+  /// CSV interchange. Import expects a header line `time,value` (or none)
+  /// and rows `<int64 time>,<int64 value>`; rows must be time-ordered. The
+  /// series must exist. Export writes the same format.
+  Status ImportCsv(const std::string& series, const std::string& path);
+  Status ExportCsv(const std::string& series, const std::string& path) const;
+
+  storage::SeriesStore* store() { return &store_; }
+  const storage::SeriesStore& store() const { return store_; }
+  const exec::Engine& engine() const { return engine_; }
+
+ private:
+  storage::SeriesStore store_;
+  exec::Engine engine_;
+};
+
+}  // namespace etsqp::db
+
+#endif  // ETSQP_DB_IOTDB_LITE_H_

@@ -1,0 +1,100 @@
+#include "db/row_engine.h"
+
+#include <chrono>
+#include <thread>
+
+#include "encoding/generic_compress.h"
+#include "exec/pipeline.h"
+
+namespace etsqp::db {
+
+Status RowEngine::CreateSeries(const std::string& name) {
+  if (tables_.count(name) != 0) {
+    return Status::InvalidArgument("series exists: " + name);
+  }
+  tables_[name] = Table{};
+  return Status::Ok();
+}
+
+void RowEngine::FlushTable(Table* table) const {
+  if (table->buf.empty()) return;
+  Split split;
+  split.rows = static_cast<uint32_t>(table->buf.size() / 2);
+  split.lz = enc::LzCompress(reinterpret_cast<const uint8_t*>(
+                                 table->buf.data()),
+                             table->buf.size() * sizeof(int64_t));
+  table->splits.push_back(std::move(split));
+  table->buf.clear();
+}
+
+Status RowEngine::AppendBatch(const std::string& name, const int64_t* times,
+                              const int64_t* values, size_t n) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("series: " + name);
+  Table& table = it->second;
+  for (size_t i = 0; i < n; ++i) {
+    table.buf.push_back(times[i]);
+    table.buf.push_back(values[i]);
+    if (table.buf.size() / 2 >= options_.split_rows) FlushTable(&table);
+  }
+  FlushTable(&table);
+  return Status::Ok();
+}
+
+Result<exec::QueryResult> RowEngine::Aggregate(
+    const std::string& name, exec::AggFunc func,
+    const exec::TimeRange& trange, const exec::ValueRange& vrange) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("series: " + name);
+  const Table& table = it->second;
+
+  // Fixed query-compilation / task-dispatch latency.
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      options_.query_setup_ms));
+
+  exec::QueryResult result;
+  exec::AggAccum accum;
+  const bool need_sq = func == exec::AggFunc::kVariance;
+  std::vector<int64_t> rows;
+  for (const Split& split : table.splits) {
+    ++result.stats.pages_total;
+    result.stats.tuples_in_pages += split.rows;
+    result.stats.bytes_loaded += split.lz.size();
+    rows.resize(static_cast<size_t>(split.rows) * 2);
+    ETSQP_RETURN_IF_ERROR(enc::LzDecompress(
+        split.lz.data(), split.lz.size(),
+        reinterpret_cast<uint8_t*>(rows.data()),
+        rows.size() * sizeof(int64_t)));
+    result.stats.tuples_scanned += split.rows;
+    // Row-at-a-time evaluation (no split-level time pruning: generic
+    // engines lack IoT min/max page statistics).
+    for (uint32_t r = 0; r < split.rows; ++r) {
+      int64_t t = rows[2 * r];
+      int64_t v = rows[2 * r + 1];
+      if (t < trange.lo || t > trange.hi) continue;
+      if (!vrange.Contains(v)) continue;
+      accum.AddValue(v, need_sq);
+    }
+  }
+  double out = 0;
+  Status st = accum.Finalize(func, &out);
+  result.column_names = {exec::AggFuncName(func)};
+  result.columns.assign(1, {});
+  if (st.ok()) {
+    result.columns[0].push_back(out);
+  } else if (st.code() == StatusCode::kOverflow) {
+    return st;
+  }
+  result.stats.result_tuples = result.num_rows();
+  return result;
+}
+
+uint64_t RowEngine::CompressedBytes(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return 0;
+  uint64_t total = 0;
+  for (const Split& split : it->second.splits) total += split.lz.size();
+  return total;
+}
+
+}  // namespace etsqp::db

@@ -1,0 +1,60 @@
+#ifndef ETSQP_DB_ROW_ENGINE_H_
+#define ETSQP_DB_ROW_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/expr.h"
+
+namespace etsqp::db {
+
+/// Spark/HDFS-like engine (Figure 13 comparator): rows serialized as
+/// (time, value) pairs into large splits, compressed with the generic LZ
+/// codec, evaluated row-at-a-time after a fixed per-query JIT/codegen setup
+/// cost. Models the paper's observations: shared strength in query-time code
+/// generation, but an inefficient generic compressor (I/O bound) and
+/// row-oriented evaluation.
+class RowEngine {
+ public:
+  struct Options {
+    uint32_t split_rows = 262144;
+    double query_setup_ms = 30.0;  // JIT/codegen + task dispatch latency
+  };
+
+  RowEngine() = default;
+  explicit RowEngine(Options options) : options_(options) {}
+
+  Status CreateSeries(const std::string& name);
+  Status AppendBatch(const std::string& name, const int64_t* times,
+                     const int64_t* values, size_t n);
+
+  Result<exec::QueryResult> Aggregate(const std::string& name,
+                                      exec::AggFunc func,
+                                      const exec::TimeRange& trange,
+                                      const exec::ValueRange& vrange) const;
+
+  uint64_t CompressedBytes(const std::string& name) const;
+  double query_setup_ms() const { return options_.query_setup_ms; }
+
+ private:
+  struct Split {
+    uint32_t rows = 0;
+    std::vector<uint8_t> lz;  // rows * 16 bytes, row-major
+  };
+  struct Table {
+    std::vector<Split> splits;
+    std::vector<int64_t> buf;  // interleaved time,value
+  };
+
+  void FlushTable(Table* table) const;
+
+  Options options_ = {};
+  mutable std::map<std::string, Table> tables_;
+};
+
+}  // namespace etsqp::db
+
+#endif  // ETSQP_DB_ROW_ENGINE_H_

@@ -1,0 +1,72 @@
+#include "encoding/bitpack.h"
+
+#include "common/bit_util.h"
+
+namespace etsqp::enc {
+
+void PackBE(const uint64_t* values, size_t n, int width, BitWriter* writer) {
+  for (size_t i = 0; i < n; ++i) {
+    writer->WriteBits(values[i], width);
+  }
+}
+
+bool UnpackBE64(const uint8_t* data, size_t size, size_t bit_offset, size_t n,
+                int width, uint64_t* out) {
+  if (width == 0) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+    return true;
+  }
+  if (bit_offset + n * static_cast<size_t>(width) > size * 8) return false;
+  size_t pos = bit_offset;
+  for (size_t i = 0; i < n; ++i) {
+    // Read the (up to) 9 bytes covering [pos, pos + width) into a 64-bit
+    // big-endian window, then shift the value into place. Width <= 57 fits a
+    // single 64-bit window; wider values take two reads.
+    uint64_t v;
+    if (width <= 57) {
+      size_t byte = pos >> 3;
+      int in_byte = static_cast<int>(pos & 7);
+      uint64_t window = 0;
+      size_t avail = size - byte;
+      size_t need = (static_cast<size_t>(in_byte) + width + 7) / 8;
+      for (size_t k = 0; k < 8; ++k) {
+        window = (window << 8) | (k < avail && k < need ? data[byte + k] : 0);
+      }
+      int shift = 64 - in_byte - width;
+      v = (window >> shift) & MaskLow64(width);
+    } else {
+      int hi_bits = width - 32;
+      uint64_t hi = UnpackOneBE(data, pos, hi_bits);
+      uint64_t lo = UnpackOneBE(data, pos + hi_bits, 32);
+      v = (hi << 32) | lo;
+    }
+    out[i] = v;
+    pos += width;
+  }
+  return true;
+}
+
+bool UnpackBE32(const uint8_t* data, size_t size, size_t bit_offset, size_t n,
+                int width, uint32_t* out) {
+  if (width == 0) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+    return true;
+  }
+  if (bit_offset + n * static_cast<size_t>(width) > size * 8) return false;
+  size_t pos = bit_offset;
+  for (size_t i = 0; i < n; ++i) {
+    size_t byte = pos >> 3;
+    int in_byte = static_cast<int>(pos & 7);
+    uint64_t window = 0;
+    size_t avail = size - byte;
+    for (size_t k = 0; k < 8; ++k) {
+      window = (window << 8) | (k < avail ? data[byte + k] : 0);
+    }
+    int shift = 64 - in_byte - width;
+    out[i] = static_cast<uint32_t>((window >> shift) & MaskLow64(width));
+    pos += width;
+  }
+  return true;
+}
+
+}  // namespace etsqp::enc

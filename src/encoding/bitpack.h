@@ -1,0 +1,50 @@
+#ifndef ETSQP_ENCODING_BITPACK_H_
+#define ETSQP_ENCODING_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.h"
+
+namespace etsqp::enc {
+
+/// Constant-width Big-Endian bit packing — the "Packing" operator of the
+/// Delta-Repeat-Packing encoder family (paper Table I). Values are written
+/// MSB-first, consecutively, with no per-value alignment; the scalar decoder
+/// here is the reference implementation against which the SIMD unpack kernels
+/// (src/simd) are property-tested.
+
+/// Appends `n` values of `width` bits each to `writer`. Values must fit in
+/// `width` bits (callers subtract the frame-of-reference base first).
+void PackBE(const uint64_t* values, size_t n, int width, BitWriter* writer);
+
+/// Scalar unpack of `n` `width`-bit values starting at bit `bit_offset` of
+/// `data` (which spans `size` bytes). Returns false when the input is too
+/// short.
+bool UnpackBE64(const uint8_t* data, size_t size, size_t bit_offset, size_t n,
+                int width, uint64_t* out);
+
+/// 32-bit convenience wrapper (width <= 32).
+bool UnpackBE32(const uint8_t* data, size_t size, size_t bit_offset, size_t n,
+                int width, uint32_t* out);
+
+/// Reads a single value; used by value-at-a-time serial pipelines.
+inline uint64_t UnpackOneBE(const uint8_t* data, size_t bit_offset,
+                            int width) {
+  uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    size_t bit = bit_offset + i;
+    v = (v << 1) | ((data[bit >> 3] >> (7 - (bit & 7))) & 1);
+  }
+  return v;
+}
+
+/// Total bytes holding `n` values of `width` bits (rounded up).
+inline size_t PackedBytes(size_t n, int width) {
+  return (n * static_cast<size_t>(width) + 7) / 8;
+}
+
+}  // namespace etsqp::enc
+
+#endif  // ETSQP_ENCODING_BITPACK_H_

@@ -1,0 +1,110 @@
+#include "encoding/elf.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "encoding/chimp.h"
+
+namespace etsqp::enc {
+
+namespace {
+
+double RoundToPrecision(double v, int precision) {
+  double scale = std::pow(10.0, precision);
+  return std::nearbyint(v * scale) / scale;
+}
+
+/// Zeroes the lowest `bits` mantissa bits of `v`.
+double EraseLowBits(double v, int bits) {
+  uint64_t w;
+  std::memcpy(&w, &v, 8);
+  w &= ~((bits >= 64 ? ~0ull : ((1ull << bits) - 1)));
+  double out;
+  std::memcpy(&out, &w, 8);
+  return out;
+}
+
+}  // namespace
+
+int ElfDecimalPrecision(double v, int max_precision) {
+  if (!std::isfinite(v)) return -1;
+  for (int p = 0; p <= max_precision; ++p) {
+    if (RoundToPrecision(v, p) == v) return p;
+  }
+  return -1;
+}
+
+EncodedColumn ElfEncoder::EncodeDoubles(const double* values,
+                                        size_t n) const {
+  // Pass 1: erase what is erasable and build the side channel.
+  std::vector<uint64_t> erased(n);
+  BitWriter side;
+  for (size_t i = 0; i < n; ++i) {
+    double v = values[i];
+    int prec = ElfDecimalPrecision(v, max_precision_);
+    double best = v;
+    if (prec >= 0 && prec < 16) {
+      // Find the largest erasure that rounds back exactly.
+      for (int bits = 48; bits >= 1; --bits) {
+        double cand = EraseLowBits(v, bits);
+        if (cand == v) break;  // nothing to erase at/below this level
+        if (RoundToPrecision(cand, prec) == v) {
+          best = cand;
+          break;
+        }
+      }
+    }
+    if (best != v && prec >= 0 && prec < 16) {
+      side.WriteBit(1);
+      side.WriteBits(static_cast<uint64_t>(prec), 4);
+    } else {
+      side.WriteBit(0);
+      best = v;
+    }
+    std::memcpy(&erased[i], &best, 8);
+  }
+  // Pass 2: XOR-compress the erased words with the Chimp backend.
+  ChimpEncoder backend;
+  EncodedColumn inner = backend.Encode(erased.data(), n);
+
+  EncodedColumn col;
+  col.encoding = ColumnEncoding::kElf;
+  col.count = static_cast<uint32_t>(n);
+  std::vector<uint8_t> side_bytes = side.TakeBuffer();
+  PutFixed32BE(&col.bytes, static_cast<uint32_t>(side_bytes.size()));
+  col.bytes.insert(col.bytes.end(), side_bytes.begin(), side_bytes.end());
+  col.bytes.insert(col.bytes.end(), inner.bytes.begin(), inner.bytes.end());
+  return col;
+}
+
+Status ElfDecodeDoubles(const EncodedColumn& col, double* out) {
+  const uint8_t* data = col.bytes.data();
+  size_t size = col.bytes.size();
+  if (size < 4) return Status::Corruption("elf: header truncated");
+  uint32_t side_bytes = GetFixed32BE(data);
+  if (4 + side_bytes > size) return Status::Corruption("elf: side truncated");
+
+  EncodedColumn inner;
+  inner.encoding = ColumnEncoding::kChimp;
+  inner.count = col.count;
+  inner.bytes.assign(data + 4 + side_bytes, data + size);
+  std::vector<uint64_t> words(col.count);
+  ETSQP_RETURN_IF_ERROR(ChimpDecode(inner, words.data()));
+
+  BitReader side(data + 4, side_bytes);
+  for (uint32_t i = 0; i < col.count; ++i) {
+    double v;
+    std::memcpy(&v, &words[i], 8);
+    if (side.ReadBit()) {
+      int prec = static_cast<int>(side.ReadBits(4));
+      v = RoundToPrecision(v, prec);
+    }
+    if (side.exhausted()) return Status::Corruption("elf: side truncated");
+    out[i] = v;
+  }
+  return Status::Ok();
+}
+
+}  // namespace etsqp::enc

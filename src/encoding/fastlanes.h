@@ -1,0 +1,71 @@
+#ifndef ETSQP_ENCODING_FASTLANES_H_
+#define ETSQP_ENCODING_FASTLANES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "encoding/format.h"
+
+namespace etsqp::enc {
+
+/// FastLanes FLMM1024 Delta layout (paper Figure 1(c); baseline (4) in the
+/// evaluation). Values are grouped into fixed blocks of 1024; inside a block
+/// the virtual 1024-bit register is modeled as 32 lanes of 32 values. The
+/// base row (the 32 values at block positions i % 32 == 0 ... i.e. row 0:
+/// v[0..31]) is stored raw; every other value stores the delta against the
+/// value 32 positions earlier (its predecessor in the same lane), so decoding
+/// is 31 lane-wise vector additions per block — a single add instruction per
+/// recovered row.
+///
+/// This reproduces FastLanes' documented IoT weaknesses: short series must be
+/// padded to 1024 (buffer pressure), the 32-value raw base row and the
+/// block-wide packing width reduce the compression ratio, and the layout
+/// cannot stack with Repeat/Fibonacci encoders.
+///
+/// Serialized layout (fixed fields Big-Endian):
+///   u32 count | u32 num_blocks
+///   per block: u8 width | i64 min_delta | raw base row (32 x i64)
+///              packed (delta - min_delta) x 992 (byte-aligned)
+
+class FastLanesEncoder {
+ public:
+  static constexpr uint32_t kBlockValues = 1024;
+  static constexpr uint32_t kLanes = 32;
+  static constexpr uint32_t kRows = kBlockValues / kLanes;  // 32
+
+  EncodedColumn Encode(const int64_t* values, size_t n) const;
+};
+
+/// Parsed view of one FLMM1024 block.
+struct FastLanesBlock {
+  uint8_t width = 0;
+  int64_t min_delta = 0;
+  const uint8_t* base_row = nullptr;  // 32 big-endian i64
+  const uint8_t* packed = nullptr;    // 992 deltas
+  size_t packed_bytes = 0;
+  uint32_t start_index = 0;
+  uint32_t num_values = 0;  // logical values (may be < 1024 in last block)
+};
+
+class FastLanesColumn {
+ public:
+  static Result<FastLanesColumn> Parse(const uint8_t* data, size_t size);
+
+  uint32_t count() const { return count_; }
+  const std::vector<FastLanesBlock>& blocks() const { return blocks_; }
+
+  /// Reference scalar decode into out[count()].
+  Status DecodeAll(int64_t* out) const;
+
+  /// Scalar decode of one block into out[1024] (padded region included).
+  static void DecodeBlock(const FastLanesBlock& block, int64_t* out);
+
+ private:
+  uint32_t count_ = 0;
+  std::vector<FastLanesBlock> blocks_;
+};
+
+}  // namespace etsqp::enc
+
+#endif  // ETSQP_ENCODING_FASTLANES_H_

@@ -1,0 +1,84 @@
+#include "encoding/fibonacci.h"
+
+namespace etsqp::enc {
+
+const std::vector<uint64_t>& FibonacciTable() {
+  static const std::vector<uint64_t>* table = [] {
+    auto* t = new std::vector<uint64_t>{1, 2};
+    while (true) {
+      uint64_t n = t->end()[-1] + t->end()[-2];
+      if (n < t->back()) break;  // overflow
+      t->push_back(n);
+      if (t->size() >= 92) break;
+    }
+    return t;
+  }();
+  return *table;
+}
+
+void FibonacciEncode(uint64_t x, BitWriter* writer) {
+  uint64_t v = x + 1;  // Fibonacci codes cover positive integers only.
+  const std::vector<uint64_t>& fib = FibonacciTable();
+  // Greedy: find the largest Fibonacci number <= v, mark bits high to low.
+  int hi = 0;
+  for (int i = static_cast<int>(fib.size()) - 1; i >= 0; --i) {
+    if (fib[i] <= v) {
+      hi = i;
+      break;
+    }
+  }
+  // Collect which indices participate.
+  uint64_t rem = v;
+  std::vector<uint8_t> bits(hi + 1, 0);
+  for (int i = hi; i >= 0; --i) {
+    if (fib[i] <= rem) {
+      bits[i] = 1;
+      rem -= fib[i];
+    }
+  }
+  // Emit lowest-order first, then the terminating 1 (forming "11").
+  for (int i = 0; i <= hi; ++i) writer->WriteBit(bits[i]);
+  writer->WriteBit(1);
+}
+
+bool FibonacciDecode(BitReader* reader, uint64_t* out) {
+  const std::vector<uint64_t>& fib = FibonacciTable();
+  uint64_t v = 0;
+  uint32_t prev = 0;
+  for (size_t i = 0;; ++i) {
+    if (reader->remaining_bits() == 0) return false;
+    uint32_t b = reader->ReadBit();
+    if (b && prev) {
+      // Terminator: the previous 1 was the last data bit.
+      *out = v - 1;
+      return v >= 1;
+    }
+    if (i >= fib.size()) return false;
+    if (b) v += fib[i];
+    prev = b;
+  }
+}
+
+size_t FibonacciDecodeRange(const uint8_t* data, size_t size_bytes,
+                            size_t bit_offset, size_t bit_end,
+                            size_t max_values, uint64_t* out,
+                            size_t* bits_consumed) {
+  BitReader reader(data, size_bytes);
+  reader.SeekBits(bit_offset);
+  size_t n = 0;
+  size_t consumed_end = bit_offset;
+  while (n < max_values && reader.bit_pos() < bit_end) {
+    uint64_t v;
+    size_t start = reader.bit_pos();
+    if (!FibonacciDecode(&reader, &v) || reader.bit_pos() > bit_end) {
+      reader.SeekBits(start);
+      break;
+    }
+    out[n++] = v;
+    consumed_end = reader.bit_pos();
+  }
+  if (bits_consumed != nullptr) *bits_consumed = consumed_end - bit_offset;
+  return n;
+}
+
+}  // namespace etsqp::enc

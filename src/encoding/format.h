@@ -1,0 +1,74 @@
+#ifndef ETSQP_ENCODING_FORMAT_H_
+#define ETSQP_ENCODING_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace etsqp::enc {
+
+/// Column encodings supported by the storage engine. The first group are the
+/// combined IoT encoders of paper Table I; kFastLanes is the FLMM1024
+/// baseline layout; kPlain stores raw 64-bit values (debug/reference).
+enum class ColumnEncoding : uint8_t {
+  kPlain = 0,
+  kTs2Diff = 1,    // Delta(+-, min-base) + BitPack       [TS_2DIFF]
+  kDeltaRle = 2,   // Delta + Repeat + BitPack             [Section IV format]
+  kRlbe = 3,       // Delta + Run-length + Fibonacci       [RLBE]
+  kSprintz = 4,    // Delta + ZigZag + BitPack             [Sprintz]
+  kGorilla = 5,    // Delta-of-delta / XOR + pattern       [Gorilla]
+  kChimp = 6,      // XOR + pattern                        [Chimp]
+  kElf = 7,        // erase + XOR + pattern                [Elf]
+  kFastLanes = 8,  // FLMM1024 transposed Delta + BitPack  [FastLanes]
+  // Float (double) value encodings — XOR/pattern family of Table I.
+  kGorillaValue = 9,
+  kChimpValue = 10,
+  kElfValue = 11,
+};
+
+/// True for the double-typed value encodings.
+inline bool IsFloatEncoding(ColumnEncoding e) {
+  return e == ColumnEncoding::kGorillaValue ||
+         e == ColumnEncoding::kChimpValue || e == ColumnEncoding::kElfValue;
+}
+
+inline const char* ColumnEncodingName(ColumnEncoding e) {
+  switch (e) {
+    case ColumnEncoding::kPlain:
+      return "PLAIN";
+    case ColumnEncoding::kTs2Diff:
+      return "TS2DIFF";
+    case ColumnEncoding::kDeltaRle:
+      return "DELTA_RLE";
+    case ColumnEncoding::kRlbe:
+      return "RLBE";
+    case ColumnEncoding::kSprintz:
+      return "SPRINTZ";
+    case ColumnEncoding::kGorilla:
+      return "GORILLA";
+    case ColumnEncoding::kChimp:
+      return "CHIMP";
+    case ColumnEncoding::kElf:
+      return "ELF";
+    case ColumnEncoding::kFastLanes:
+      return "FASTLANES";
+    case ColumnEncoding::kGorillaValue:
+      return "GORILLA_VALUE";
+    case ColumnEncoding::kChimpValue:
+      return "CHIMP";
+    case ColumnEncoding::kElfValue:
+      return "ELF";
+  }
+  return "UNKNOWN";
+}
+
+/// A serialized encoded column: `count` logical values in `bytes`.
+struct EncodedColumn {
+  ColumnEncoding encoding = ColumnEncoding::kPlain;
+  uint32_t count = 0;
+  std::vector<uint8_t> bytes;
+};
+
+}  // namespace etsqp::enc
+
+#endif  // ETSQP_ENCODING_FORMAT_H_

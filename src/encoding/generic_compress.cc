@@ -1,0 +1,116 @@
+#include "encoding/generic_compress.h"
+
+#include <cstring>
+
+namespace etsqp::enc {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr size_t kMaxOffset = 65535;
+
+uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutLength(std::vector<uint8_t>* out, size_t len) {
+  while (len >= 255) {
+    out->push_back(255);
+    len -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(len));
+}
+
+bool GetLength(const uint8_t* data, size_t size, size_t* pos, size_t* len) {
+  size_t total = 0;
+  while (true) {
+    if (*pos >= size) return false;
+    uint8_t b = data[(*pos)++];
+    total += b;
+    if (b != 255) break;
+  }
+  *len = total;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzCompress(const uint8_t* data, size_t size) {
+  std::vector<uint8_t> out;
+  out.reserve(size / 2 + 16);
+  std::vector<int64_t> table(kHashSize, -1);
+
+  size_t pos = 0;
+  size_t literal_start = 0;
+  while (pos + kMinMatch <= size) {
+    uint32_t h = HashAt(data + pos);
+    int64_t cand = table[h];
+    table[h] = static_cast<int64_t>(pos);
+    if (cand >= 0 && pos - static_cast<size_t>(cand) <= kMaxOffset &&
+        std::memcmp(data + cand, data + pos, kMinMatch) == 0) {
+      // Extend the match.
+      size_t match_len = kMinMatch;
+      while (pos + match_len < size &&
+             data[cand + match_len] == data[pos + match_len]) {
+        ++match_len;
+      }
+      size_t literal_len = pos - literal_start;
+      PutLength(&out, literal_len);
+      PutLength(&out, match_len);
+      out.insert(out.end(), data + literal_start, data + pos);
+      size_t offset = pos - static_cast<size_t>(cand);
+      out.push_back(static_cast<uint8_t>(offset >> 8));
+      out.push_back(static_cast<uint8_t>(offset & 0xff));
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Trailing literals (match_len 0, offset 0 sentinel).
+  size_t literal_len = size - literal_start;
+  PutLength(&out, literal_len);
+  PutLength(&out, 0);
+  out.insert(out.end(), data + literal_start, data + size);
+  out.push_back(0);
+  out.push_back(0);
+  return out;
+}
+
+Status LzDecompress(const uint8_t* data, size_t size, uint8_t* out,
+                    size_t expected_size) {
+  size_t pos = 0;
+  size_t opos = 0;
+  while (pos < size) {
+    size_t literal_len, match_len;
+    if (!GetLength(data, size, &pos, &literal_len) ||
+        !GetLength(data, size, &pos, &match_len)) {
+      return Status::Corruption("lz: token truncated");
+    }
+    if (pos + literal_len + 2 > size || opos + literal_len > expected_size) {
+      return Status::Corruption("lz: literal overrun");
+    }
+    std::memcpy(out + opos, data + pos, literal_len);
+    pos += literal_len;
+    opos += literal_len;
+    size_t offset = (static_cast<size_t>(data[pos]) << 8) | data[pos + 1];
+    pos += 2;
+    if (match_len == 0 && offset == 0) {
+      break;  // end-of-stream sentinel
+    }
+    if (offset == 0 || offset > opos || opos + match_len > expected_size) {
+      return Status::Corruption("lz: bad match");
+    }
+    for (size_t i = 0; i < match_len; ++i, ++opos) {
+      out[opos] = out[opos - offset];
+    }
+  }
+  if (opos != expected_size) return Status::Corruption("lz: size mismatch");
+  return Status::Ok();
+}
+
+}  // namespace etsqp::enc

@@ -1,0 +1,28 @@
+#ifndef ETSQP_ENCODING_GENERIC_COMPRESS_H_
+#define ETSQP_ENCODING_GENERIC_COMPRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace etsqp::enc {
+
+/// Generic byte-oriented LZ compressor (LZ4-style greedy hash matcher).
+/// Stand-in for the HDFS block compressor in the Figure 13 system
+/// comparison: it is type-blind, so it misses the delta structure IoT
+/// encoders exploit — reproducing the paper's "HDFS compressor is not
+/// efficient enough to reduce I/O" observation.
+///
+/// Token stream: u8 literal_len | u8 match_len | literals | u16 offset(BE).
+/// Lengths >= 255 continue with extra bytes (LZ4 convention). A match_len of
+/// 0 with offset 0 means "no match" (end-of-stream literals).
+std::vector<uint8_t> LzCompress(const uint8_t* data, size_t size);
+
+/// Decompresses into `out`; `expected_size` must match the original size.
+Status LzDecompress(const uint8_t* data, size_t size, uint8_t* out,
+                    size_t expected_size);
+
+}  // namespace etsqp::enc
+
+#endif  // ETSQP_ENCODING_GENERIC_COMPRESS_H_

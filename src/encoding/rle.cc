@@ -1,0 +1,30 @@
+#include "encoding/rle.h"
+
+namespace etsqp::enc {
+
+std::vector<Run> RleEncode(const int64_t* values, size_t n) {
+  std::vector<Run> runs;
+  for (size_t i = 0; i < n;) {
+    size_t j = i + 1;
+    while (j < n && values[j] == values[i]) ++j;
+    runs.push_back(Run{values[i], static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+  return runs;
+}
+
+size_t RleDecode(const std::vector<Run>& runs, int64_t* out) {
+  size_t pos = 0;
+  for (const Run& r : runs) {
+    for (uint32_t k = 0; k < r.length; ++k) out[pos++] = r.value;
+  }
+  return pos;
+}
+
+size_t RleTotalLength(const std::vector<Run>& runs) {
+  size_t total = 0;
+  for (const Run& r : runs) total += r.length;
+  return total;
+}
+
+}  // namespace etsqp::enc

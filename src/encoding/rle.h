@@ -1,0 +1,33 @@
+#ifndef ETSQP_ENCODING_RLE_H_
+#define ETSQP_ENCODING_RLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace etsqp::enc {
+
+/// Plain run-length encoding of a value sequence (the "Repeat" operator of
+/// paper Table I): consecutive equal values collapse into (value, run) pairs.
+/// Used standalone for low-cardinality columns and as the Repeat stage inside
+/// the combined encoders (DeltaRle, RLBE).
+
+struct Run {
+  int64_t value = 0;
+  uint32_t length = 0;
+};
+
+/// Collapses `values[0..n)` into runs (order-preserving).
+std::vector<Run> RleEncode(const int64_t* values, size_t n);
+
+/// Expands runs back into `out`, which must hold the total run length.
+/// Returns the number of values written.
+size_t RleDecode(const std::vector<Run>& runs, int64_t* out);
+
+/// Total expanded length of `runs`.
+size_t RleTotalLength(const std::vector<Run>& runs);
+
+}  // namespace etsqp::enc
+
+#endif  // ETSQP_ENCODING_RLE_H_

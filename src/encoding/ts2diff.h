@@ -1,0 +1,92 @@
+#ifndef ETSQP_ENCODING_TS2DIFF_H_
+#define ETSQP_ENCODING_TS2DIFF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "encoding/format.h"
+
+namespace etsqp::enc {
+
+/// TS2DIFF (IoTDB TS_2DIFF): the widely applied IoT encoder of paper
+/// Figure 1(b). Values are Delta-encoded against their predecessor; each
+/// block subtracts the block-minimum delta (`min_delta`, the paper's `base`)
+/// and bit-packs the residuals Big-Endian with a single per-block width.
+///
+/// Serialized layout (all fixed fields Big-Endian):
+///   u32 count | u32 block_size | u32 num_blocks
+///   per block:
+///     u32 num_deltas | u8 width | i64 min_delta | i64 first_value
+///     i64 min_value | i64 max_value   (exact block statistics)
+///     packed residuals (PackedBytes(num_deltas, width), byte-aligned)
+///
+/// Each block stores its own `first_value`, so blocks decode independently —
+/// this is what lets the scheduler split a page into slices (Section III-C)
+/// and lets pruning skip whole blocks (Section V).
+///
+/// Block b covering values [s, e) stores first_value = v[s] and
+/// num_deltas = e-s-1 residuals r_i = (v[s+i] - v[s+i-1]) - min_delta.
+
+class Ts2DiffEncoder {
+ public:
+  static constexpr uint32_t kDefaultBlockSize = 1024;
+
+  explicit Ts2DiffEncoder(uint32_t block_size = kDefaultBlockSize)
+      : block_size_(block_size < 2 ? 2 : block_size) {}
+
+  /// Encodes `n` values (n >= 1) into a self-contained column blob.
+  EncodedColumn Encode(const int64_t* values, size_t n) const;
+
+ private:
+  uint32_t block_size_;
+};
+
+/// Parsed view of one TS2DIFF block; points into the column's byte buffer.
+struct Ts2DiffBlock {
+  uint32_t num_deltas = 0;
+  uint8_t width = 0;
+  int64_t min_delta = 0;   // the paper's `base`
+  int64_t first_value = 0;
+  int64_t min_value = 0;   // exact block statistics (page-header style)
+  int64_t max_value = 0;
+  const uint8_t* packed = nullptr;
+  size_t packed_bytes = 0;
+  uint32_t start_index = 0;  // index of first_value within the column
+
+  uint32_t num_values() const { return num_deltas + 1; }
+
+  /// Conservative delta bounds used by the pruning rules (Propositions 4-5):
+  /// every decoded delta lies in [min_delta, min_delta + 2^width - 1].
+  int64_t delta_lower_bound() const { return min_delta; }
+  int64_t delta_upper_bound() const;
+
+  /// True when all deltas equal min_delta (width == 0): constant interval,
+  /// enabling direct position arithmetic for time filters (Proposition 4).
+  bool constant_interval() const { return width == 0; }
+};
+
+/// Parsed (zero-copy) TS2DIFF column. The backing bytes must outlive it.
+class Ts2DiffColumn {
+ public:
+  static Result<Ts2DiffColumn> Parse(const uint8_t* data, size_t size);
+
+  uint32_t count() const { return count_; }
+  uint32_t block_size() const { return block_size_; }
+  const std::vector<Ts2DiffBlock>& blocks() const { return blocks_; }
+
+  /// Reference scalar decode of the whole column into `out[count()]`.
+  Status DecodeAll(int64_t* out) const;
+
+  /// Scalar decode of a single block into `out[block.num_values()]`.
+  static void DecodeBlock(const Ts2DiffBlock& block, int64_t* out);
+
+ private:
+  uint32_t count_ = 0;
+  uint32_t block_size_ = 0;
+  std::vector<Ts2DiffBlock> blocks_;
+};
+
+}  // namespace etsqp::enc
+
+#endif  // ETSQP_ENCODING_TS2DIFF_H_

@@ -1,0 +1,419 @@
+#include "exec/column_decoder.h"
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/bitstream.h"
+#include "common/cpu.h"
+#include "encoding/bitpack.h"
+#include "encoding/delta_rle.h"
+#include "encoding/fastlanes.h"
+#include "encoding/gorilla.h"
+#include "encoding/rlbe.h"
+#include "encoding/sprintz.h"
+#include "encoding/ts2diff.h"
+#include "simd/delta_simd.h"
+#include "simd/rle_flatten.h"
+#include "simd/transposed_unpack.h"
+#include "simd/unpack.h"
+
+namespace etsqp::exec {
+
+const char* DecodeStrategyName(DecodeStrategy s) {
+  switch (s) {
+    case DecodeStrategy::kEtsqp:
+      return "ETSQP";
+    case DecodeStrategy::kSerial:
+      return "Serial";
+    case DecodeStrategy::kSboost:
+      return "SBoost";
+    case DecodeStrategy::kFastLanes:
+      return "FastLanes";
+  }
+  return "?";
+}
+
+void DecodedColumn::Materialize(int64_t* out) const {
+  if (narrow) {
+    for (size_t i = 0; i < offsets.size(); ++i) out[i] = base + offsets[i];
+  } else {
+    std::copy(values64.begin(), values64.end(), out);
+  }
+}
+
+namespace {
+
+constexpr int64_t kNarrowSwingLimit = 1ll << 30;
+
+/// Exact value bounds of a TS2DIFF column from its block statistics.
+bool Ts2DiffBounds(const enc::Ts2DiffColumn& col, int64_t* lo, int64_t* hi) {
+  if (col.blocks().empty()) {
+    *lo = *hi = 0;
+    return true;
+  }
+  int64_t mn = col.blocks()[0].min_value;
+  int64_t mx = col.blocks()[0].max_value;
+  for (const enc::Ts2DiffBlock& b : col.blocks()) {
+    mn = std::min(mn, b.min_value);
+    mx = std::max(mx, b.max_value);
+  }
+  *lo = mn;
+  *hi = mx;
+  return true;
+}
+
+Status DecodeTs2Diff(const uint8_t* data, size_t size, uint32_t count,
+                     DecodeStrategy strategy, int n_v, size_t begin,
+                     size_t end, bool ordered, DecodedColumn* out) {
+  Result<enc::Ts2DiffColumn> parsed = enc::Ts2DiffColumn::Parse(data, size);
+  if (!parsed.ok()) return parsed.status();
+  const enc::Ts2DiffColumn& col = parsed.value();
+  if (col.count() != count) return Status::Corruption("ts2diff count");
+  end = std::min<size_t>(end, count);
+  if (begin >= end) {
+    out->narrow = true;
+    out->base = 0;
+    out->offsets.clear();
+    out->values64.clear();
+    return Status::Ok();
+  }
+
+  int64_t lo = 0, hi = 0;
+  bool narrow = strategy != DecodeStrategy::kSerial &&
+                Ts2DiffBounds(col, &lo, &hi) &&
+                (hi - lo) < kNarrowSwingLimit;
+
+  if (!narrow) {
+    // Wide scalar path (value-at-a-time, also the Serial baseline).
+    out->narrow = false;
+    out->offsets.clear();
+    out->values64.resize(end - begin);
+    std::vector<int64_t> block_buf;
+    for (const enc::Ts2DiffBlock& b : col.blocks()) {
+      size_t bs = b.start_index;
+      size_t be = bs + b.num_values();
+      if (be <= begin || bs >= end) continue;
+      block_buf.resize(b.num_values());
+      enc::Ts2DiffColumn::DecodeBlock(b, block_buf.data());
+      size_t from = std::max(bs, begin);
+      size_t to = std::min(be, end);
+      std::copy(block_buf.begin() + (from - bs), block_buf.begin() + (to - bs),
+                out->values64.begin() + (from - begin));
+    }
+    return Status::Ok();
+  }
+
+  out->narrow = true;
+  out->base = lo;
+  out->values64.clear();
+  out->offsets.resize(end - begin);
+  std::vector<int32_t> block_buf;
+  for (const enc::Ts2DiffBlock& b : col.blocks()) {
+    size_t bs = b.start_index;
+    size_t be = bs + b.num_values();
+    if (be <= begin || bs >= end) continue;
+    int32_t init = static_cast<int32_t>(b.first_value - lo);
+    size_t from = std::max(bs, begin);
+    size_t to = std::min(be, end);
+    // Decode deltas 1..(to-bs-1); positions bs+1..to-1 plus first at bs.
+    size_t deltas_needed = to - bs - 1;
+    block_buf.resize(b.num_values());
+    int32_t* buf = block_buf.data();
+    buf[0] = init;
+    if (deltas_needed > 0) {
+      int32_t md = static_cast<int32_t>(b.min_delta);
+      switch (strategy) {
+        case DecodeStrategy::kEtsqp:
+          // Full-block decode into an order-insensitive consumer keeps the
+          // transposed layout (register sharing); partial blocks need
+          // positions, so they stay ordered.
+          if (!ordered && from == bs && to == be) {
+            simd::DeltaDecodeOffsetsUnordered(b.packed, b.packed_bytes,
+                                              deltas_needed, b.width, md, n_v,
+                                              init, buf + 1);
+          } else {
+            simd::DeltaDecodeOffsets(b.packed, b.packed_bytes, deltas_needed,
+                                     b.width, md, n_v, init, buf + 1);
+          }
+          break;
+        case DecodeStrategy::kSboost:
+          simd::SboostDeltaDecode(b.packed, b.packed_bytes, deltas_needed,
+                                  b.width, md, init, buf + 1);
+          break;
+        default:
+          simd::DeltaDecodeOffsetsScalar(b.packed, b.packed_bytes,
+                                         deltas_needed, b.width, md, init,
+                                         buf + 1);
+          break;
+      }
+    }
+    std::copy(buf + (from - bs), buf + (to - bs),
+              out->offsets.begin() + (from - begin));
+  }
+  return Status::Ok();
+}
+
+Status DecodeDeltaRle(const uint8_t* data, size_t size, uint32_t count,
+                      DecodeStrategy strategy, DecodedColumn* out) {
+  Result<enc::DeltaRleColumn> parsed = enc::DeltaRleColumn::Parse(data, size);
+  if (!parsed.ok()) return parsed.status();
+  const enc::DeltaRleColumn& col = parsed.value();
+  if (col.count() != count) return Status::Corruption("delta_rle count");
+  if (count == 0) {
+    out->narrow = true;
+    out->base = 0;
+    out->offsets.clear();
+    return Status::Ok();
+  }
+
+  __int128 span = static_cast<__int128>(count) *
+                  std::max<int64_t>(std::abs(col.delta_lower_bound()),
+                                    std::abs(col.delta_upper_bound()));
+  bool narrow = strategy != DecodeStrategy::kSerial &&
+                col.delta_width() <= 31 && span < kNarrowSwingLimit;
+
+  if (!narrow) {
+    out->narrow = false;
+    out->offsets.clear();
+    out->values64.resize(count);
+    return col.DecodeAll(out->values64.data());
+  }
+
+  out->narrow = true;
+  out->base = col.first_value();
+  out->values64.clear();
+  out->offsets.resize(count);
+  out->offsets[0] = 0;
+
+  uint32_t np = col.num_pairs();
+  std::vector<int32_t> deltas(np);
+  std::vector<uint32_t> runs(np);
+  bool vectorized = strategy == DecodeStrategy::kEtsqp ||
+                    strategy == DecodeStrategy::kSboost;
+  if (vectorized) {
+    simd::UnpackBE32(col.packed_deltas(), size, np, col.delta_width(),
+                     reinterpret_cast<uint32_t*>(deltas.data()));
+    simd::UnpackBE32(col.packed_runs(), size, np, col.run_width(),
+                     runs.data());
+  } else {
+    enc::UnpackBE32(col.packed_deltas(), size, 0, np, col.delta_width(),
+                    reinterpret_cast<uint32_t*>(deltas.data()));
+    enc::UnpackBE32(col.packed_runs(), size, 0, np, col.run_width(),
+                    runs.data());
+  }
+  int32_t md = static_cast<int32_t>(col.min_delta());
+  uint64_t total_runs = 0;
+  for (uint32_t i = 0; i < np; ++i) {
+    deltas[i] += md;
+    runs[i] += 1;
+    total_runs += runs[i];
+  }
+  // Validate the expansion size BEFORE flattening: corrupted run fields
+  // must not overflow the output buffer.
+  if (total_runs != count - 1) {
+    return Status::Corruption("delta_rle: run total mismatch");
+  }
+  if (strategy == DecodeStrategy::kEtsqp) {
+    simd::FlattenDeltaRuns(deltas.data(), runs.data(), np, 0,
+                           out->offsets.data() + 1);
+  } else {
+    simd::FlattenDeltaRunsScalar(deltas.data(), runs.data(), np, 0,
+                                 out->offsets.data() + 1);
+  }
+  return Status::Ok();
+}
+
+Status DecodeFastLanesSimd(const enc::FastLanesColumn& col, size_t begin,
+                           size_t end, DecodedColumn* out) {
+  constexpr uint32_t kBlock = enc::FastLanesEncoder::kBlockValues;
+  constexpr uint32_t kLanes = enc::FastLanesEncoder::kLanes;
+  out->narrow = false;
+  out->offsets.clear();
+  out->values64.resize(end - begin);
+  alignas(32) int64_t rows[kBlock];
+  std::vector<uint32_t> residuals(kBlock - kLanes);
+  for (const enc::FastLanesBlock& b : col.blocks()) {
+    size_t bs = b.start_index;
+    size_t be = bs + b.num_values;
+    if (be <= begin || bs >= end) continue;
+    for (uint32_t l = 0; l < kLanes; ++l) {
+      rows[l] = static_cast<int64_t>(GetFixed64BE(b.base_row + l * 8));
+    }
+    simd::UnpackBE32(b.packed, b.packed_bytes, kBlock - kLanes, b.width,
+                     residuals.data());
+    // 31 lane-wise vector additions per block: row r = row r-1 + delta.
+    if (UseAvx2()) {
+      const __m256i vmd = _mm256_set1_epi64x(b.min_delta);
+      for (uint32_t r = 1; r < kBlock / kLanes; ++r) {
+        const uint32_t* res = residuals.data() + (r - 1) * kLanes;
+        for (uint32_t l = 0; l < kLanes; l += 4) {
+          __m128i r32 = _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(res + l));
+          __m256i d = _mm256_cvtepu32_epi64(r32);
+          __m256i prev = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+              rows + (r - 1) * kLanes + l));
+          __m256i cur = _mm256_add_epi64(_mm256_add_epi64(prev, d), vmd);
+          _mm256_storeu_si256(
+              reinterpret_cast<__m256i*>(rows + r * kLanes + l), cur);
+        }
+      }
+    } else {
+      for (uint32_t i = kLanes; i < kBlock; ++i) {
+        rows[i] = rows[i - kLanes] + b.min_delta +
+                  static_cast<int64_t>(residuals[i - kLanes]);
+      }
+    }
+    size_t from = std::max(bs, begin);
+    size_t to = std::min(be, end);
+    std::copy(rows + (from - bs), rows + (to - bs),
+              out->values64.begin() + (from - begin));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status DecodeColumnRange(const uint8_t* data, size_t size,
+                         enc::ColumnEncoding encoding, uint32_t count,
+                         DecodeStrategy strategy, int n_v, size_t begin,
+                         size_t end, DecodedColumn* out, bool ordered) {
+  end = std::min<size_t>(end, count);
+  switch (encoding) {
+    case enc::ColumnEncoding::kTs2Diff:
+      return DecodeTs2Diff(data, size, count, strategy, n_v, begin, end,
+                           ordered, out);
+    case enc::ColumnEncoding::kFastLanes: {
+      Result<enc::FastLanesColumn> parsed =
+          enc::FastLanesColumn::Parse(data, size);
+      if (!parsed.ok()) return parsed.status();
+      if (parsed.value().count() != count) {
+        return Status::Corruption("fastlanes count");
+      }
+      if (strategy == DecodeStrategy::kSerial) {
+        out->narrow = false;
+        out->offsets.clear();
+        out->values64.resize(count);
+        ETSQP_RETURN_IF_ERROR(parsed.value().DecodeAll(out->values64.data()));
+        if (begin != 0 || end != count) {
+          out->values64.erase(out->values64.begin() + end,
+                              out->values64.end());
+          out->values64.erase(out->values64.begin(),
+                              out->values64.begin() + begin);
+        }
+        return Status::Ok();
+      }
+      return DecodeFastLanesSimd(parsed.value(), begin, end, out);
+    }
+    default:
+      break;
+  }
+  // Non-block-sliceable encodings: decode fully, then cut the range.
+  DecodedColumn full;
+  switch (encoding) {
+    case enc::ColumnEncoding::kDeltaRle:
+      ETSQP_RETURN_IF_ERROR(
+          DecodeDeltaRle(data, size, count, strategy, &full));
+      break;
+    case enc::ColumnEncoding::kRlbe: {
+      Result<enc::RlbeColumn> parsed = enc::RlbeColumn::Parse(data, size);
+      if (!parsed.ok()) return parsed.status();
+      const enc::RlbeColumn& col = parsed.value();
+      if (col.count() != count) return Status::Corruption("rlbe count");
+      if (begin > 0 || end < count) {
+        // Variable-width slice (Section III-C): resynchronize at the
+        // nearest anchor and decode only the requested range — scanning
+        // skips codewords without reconstructing values.
+        uint32_t stride = std::max<uint32_t>(1024, count / 16);
+        Result<std::vector<enc::RlbeColumn::Anchor>> anchors =
+            col.ScanAnchors(stride);
+        if (!anchors.ok()) return anchors.status();
+        const enc::RlbeColumn::Anchor* best = &anchors.value()[0];
+        for (const auto& a : anchors.value()) {
+          if (a.value_index <= std::max<size_t>(begin, 1)) best = &a;
+        }
+        out->narrow = false;
+        out->offsets.clear();
+        out->values64.resize(end - begin);
+        std::vector<int64_t> tail(end - best->value_index);
+        ETSQP_RETURN_IF_ERROR(col.DecodeFrom(
+            *best, static_cast<uint32_t>(end), tail.data()));
+        if (begin == 0) {
+          out->values64[0] = col.first_value();
+          std::copy(tail.begin(), tail.begin() + (end - 1), 
+                    out->values64.begin() + 1);
+        } else {
+          std::copy(tail.begin() + (begin - best->value_index), tail.end(),
+                    out->values64.begin());
+        }
+        return Status::Ok();
+      }
+      full.narrow = false;
+      full.values64.resize(count);
+      ETSQP_RETURN_IF_ERROR(col.DecodeAll(full.values64.data()));
+      break;
+    }
+    case enc::ColumnEncoding::kSprintz: {
+      Result<enc::SprintzColumn> parsed =
+          enc::SprintzColumn::Parse(data, size);
+      if (!parsed.ok()) return parsed.status();
+      if (parsed.value().count() != count) {
+        return Status::Corruption("sprintz count");
+      }
+      full.narrow = false;
+      full.values64.resize(count);
+      ETSQP_RETURN_IF_ERROR(parsed.value().DecodeAll(full.values64.data()));
+      break;
+    }
+    case enc::ColumnEncoding::kGorilla: {
+      enc::EncodedColumn col;
+      col.encoding = enc::ColumnEncoding::kGorilla;
+      col.count = count;
+      col.bytes.assign(data, data + size);
+      full.narrow = false;
+      full.values64.resize(count);
+      ETSQP_RETURN_IF_ERROR(
+          enc::GorillaTimestampDecode(col, full.values64.data()));
+      break;
+    }
+    case enc::ColumnEncoding::kPlain: {
+      if (size < static_cast<size_t>(count) * 8) {
+        return Status::Corruption("plain: truncated");
+      }
+      full.narrow = false;
+      full.values64.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        full.values64[i] = static_cast<int64_t>(GetFixed64BE(data + i * 8));
+      }
+      break;
+    }
+    default:
+      return Status::NotSupported("decode for this encoding");
+  }
+  if (begin == 0 && end == full.size()) {
+    *out = std::move(full);
+    return Status::Ok();
+  }
+  out->narrow = full.narrow;
+  out->base = full.base;
+  if (full.narrow) {
+    out->offsets.assign(full.offsets.begin() + begin,
+                        full.offsets.begin() + end);
+    out->values64.clear();
+  } else {
+    out->values64.assign(full.values64.begin() + begin,
+                         full.values64.begin() + end);
+    out->offsets.clear();
+  }
+  return Status::Ok();
+}
+
+Status DecodeColumn(const uint8_t* data, size_t size,
+                    enc::ColumnEncoding encoding, uint32_t count,
+                    DecodeStrategy strategy, int n_v, DecodedColumn* out) {
+  return DecodeColumnRange(data, size, encoding, count, strategy, n_v, 0,
+                           count, out);
+}
+
+}  // namespace etsqp::exec

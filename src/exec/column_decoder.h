@@ -1,0 +1,64 @@
+#ifndef ETSQP_EXEC_COLUMN_DECODER_H_
+#define ETSQP_EXEC_COLUMN_DECODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "encoding/format.h"
+
+namespace etsqp::exec {
+
+/// Which decoding pipeline implementation to use — the evaluation's
+/// baselines (Section VII-A).
+enum class DecodeStrategy {
+  kEtsqp,      // Algorithm 1: transposed-layout SIMD unpack + Delta recovery
+  kSerial,     // value-at-a-time scalar pipeline
+  kSboost,     // natural-order SIMD unpack + log-step prefix sum
+  kFastLanes,  // FLMM1024 layout decode (requires kFastLanes encoding)
+};
+
+const char* DecodeStrategyName(DecodeStrategy s);
+
+/// A decoded column range. The narrow form keeps values as 32-bit offsets
+/// from `base` — the in-register representation the vectorized operators
+/// (filters, aggregations) consume; wide columns hold materialized int64.
+struct DecodedColumn {
+  bool narrow = true;
+  int64_t base = 0;
+  std::vector<int32_t> offsets;
+  std::vector<int64_t> values64;
+
+  size_t size() const {
+    return narrow ? offsets.size() : values64.size();
+  }
+  int64_t Get(size_t i) const {
+    return narrow ? base + offsets[i] : values64[i];
+  }
+  /// Materializes into `out[size()]` regardless of form.
+  void Materialize(int64_t* out) const;
+};
+
+/// Decodes a full encoded column with the given strategy. `n_v` selects the
+/// transposed-layout vector count for kEtsqp (0 = Proposition 1 default).
+/// The buffer must have >= 32 bytes of readable slack (AlignedBuffer).
+Status DecodeColumn(const uint8_t* data, size_t size,
+                    enc::ColumnEncoding encoding, uint32_t count,
+                    DecodeStrategy strategy, int n_v, DecodedColumn* out);
+
+/// Decodes only blocks overlapping value positions [begin, end) — used by
+/// page slices. Positions outside [begin,end) in `out` are unspecified;
+/// `out` is sized `end - begin` and holds positions begin..end-1.
+///
+/// `ordered` false permits the ETSQP strategy to emit offsets in the
+/// transposed chunk order (no scatter pass) — valid for order-insensitive
+/// consumers (SUM/AVG/MIN/MAX/COUNT and value-range masks), which is how the
+/// pipeline shares the SIMD layout between decoders and operators.
+Status DecodeColumnRange(const uint8_t* data, size_t size,
+                         enc::ColumnEncoding encoding, uint32_t count,
+                         DecodeStrategy strategy, int n_v, size_t begin,
+                         size_t end, DecodedColumn* out, bool ordered = true);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_COLUMN_DECODER_H_

@@ -1,0 +1,42 @@
+#include "exec/cost_model.h"
+
+#include <cmath>
+
+#include "simd/transposed_unpack.h"
+
+namespace etsqp::exec {
+
+double AverageDecodeTime(int width, int unpacked_width, int n_v,
+                         const CostConstants& c) {
+  // T_AVG = [ (t_load + t_shuffle) n_ld + t_unpack n_v n_ld
+  //           + (t_and + t_shift) n_v + (2 n_v - 1) t_add + t_prefix ]
+  //         / (n_v * w_SIMD / w')
+  // with n_ld = n_v * w / w' loads per round (use-all-loaded-data layouts).
+  double n_ld = static_cast<double>(n_v) * width / unpacked_width;
+  double decoded = static_cast<double>(n_v) * c.simd_bits / unpacked_width;
+  double cost = (c.t_load + c.t_shuffle) * n_ld + c.t_unpack * n_v * n_ld +
+                (c.t_and + c.t_shift) * n_v + (2.0 * n_v - 1.0) * c.t_add +
+                c.t_prefix;
+  return cost / decoded;
+}
+
+double OptimalNvReal(int width, int unpacked_width, const CostConstants& c) {
+  return std::sqrt(static_cast<double>(unpacked_width) / width *
+                   (c.t_prefix - c.t_add) / c.t_unpack);
+}
+
+int OptimalNv(int width) { return simd::DefaultNumVectors(width); }
+
+double EstimatedSpeedup(int width, int unpacked_width, int threads,
+                        const CostConstants& c) {
+  // Serial: per value, load bits + shift + mask + accumulate + save.
+  double t_serial = 2.0 * c.t_vis_mem + c.t_shift + c.t_and + c.t_op +
+                    c.t_reg_save;
+  // Parallel: Proposition 1 optimum divided over threads.
+  int n_v = OptimalNv(width);
+  double t_parallel = AverageDecodeTime(width, unpacked_width, n_v, c) /
+                      threads;
+  return t_serial / t_parallel;
+}
+
+}  // namespace etsqp::exec

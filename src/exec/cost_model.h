@@ -1,0 +1,44 @@
+#ifndef ETSQP_EXEC_COST_MODEL_H_
+#define ETSQP_EXEC_COST_MODEL_H_
+
+namespace etsqp::exec {
+
+/// Instruction-cost constants of the Algorithm 1 cost model (Proposition 1 /
+/// Theorem 2), in abstract CPU-clock units. Defaults follow the instruction
+/// latencies the paper assumes (simple ops ~1, shuffle+or unpack ~2,
+/// 3-step permute prefix ~12, cache-resident memory access ~4).
+struct CostConstants {
+  double t_load = 4.0;
+  double t_shuffle = 1.0;
+  double t_unpack = 2.0;  // shuffle + or (Line 8)
+  double t_and = 1.0;
+  double t_shift = 1.0;
+  double t_add = 1.0;
+  double t_prefix = 12.0;   // Line 13 (3 x (permute + add) + extract)
+  double t_vis_mem = 4.0;   // scalar memory visit (t_visMem), cache-hit
+  double t_op = 1.0;        // scalar simple op
+  double t_reg_save = 1.0;
+  int simd_bits = 256;
+};
+
+/// Proposition 1: average decode time per data point for a given number of
+/// unpacked vectors n_v (packing width w, unpacked width w').
+double AverageDecodeTime(int width, int unpacked_width, int n_v,
+                         const CostConstants& c);
+
+/// Proposition 1: the optimal (real-valued) n_v, before clamping to the
+/// feasible layout set.
+double OptimalNvReal(int width, int unpacked_width, const CostConstants& c);
+
+/// The n_v actually used by the kernels (feasible-set clamp); mirrors
+/// simd::DefaultNumVectors.
+int OptimalNv(int width);
+
+/// Theorem 2: estimated acceleration ratio T_serial / T_parallel for
+/// `threads` cores, packing width w, unpacked width w'.
+double EstimatedSpeedup(int width, int unpacked_width, int threads,
+                        const CostConstants& c);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_COST_MODEL_H_

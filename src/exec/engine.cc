@@ -1,0 +1,601 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/bit_util.h"
+#include "encoding/delta_rle.h"
+#include "exec/fusion.h"
+#include "exec/pipe_builder.h"
+#include "exec/scheduler.h"
+#include "simd/filter_simd.h"
+
+namespace etsqp::exec {
+
+namespace {
+
+/// Per-input materialized tuples, stitched in storage order.
+struct Materialized {
+  std::vector<int64_t> times;
+  std::vector<int64_t> values;
+};
+
+/// Runs MaterializeSlice jobs for one plan and returns per-input tuple
+/// streams in time order.
+Status MaterializeInputs(const LogicalPlan& plan,
+                         const storage::SeriesStore& store,
+                         const PipelineOptions& options,
+                         const PipelineSpec& spec,
+                         std::vector<Materialized>* inputs,
+                         QueryStats* stats) {
+  // Per-job local buffers, stitched afterwards to preserve order.
+  std::vector<Materialized> locals(spec.jobs.size());
+  std::vector<Status> statuses(spec.jobs.size());
+  std::vector<QueryStats> job_stats(spec.jobs.size());
+
+  std::vector<const storage::SeriesStore::Series*> series(2, nullptr);
+  Result<const storage::SeriesStore::Series*> left =
+      store.GetSeries(plan.series);
+  if (!left.ok()) return left.status();
+  series[0] = left.value();
+  if (!plan.series_right.empty()) {
+    Result<const storage::SeriesStore::Series*> right =
+        store.GetSeries(plan.series_right);
+    if (!right.ok()) return right.status();
+    series[1] = right.value();
+  }
+
+  RunJobs(spec.jobs.size(), options.threads, [&](size_t i) {
+    const PipeJob& job = spec.jobs[i];
+    const storage::Page& page = series[job.input]->pages[job.page_index];
+    statuses[i] = MaterializeSlice(page, job.begin, job.end,
+                                   plan.time_filter, plan.value_filter,
+                                   options, &locals[i].times,
+                                   &locals[i].values, &job_stats[i]);
+  });
+  for (size_t i = 0; i < spec.jobs.size(); ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+    stats->Merge(job_stats[i]);
+  }
+  // Jobs were emitted in (input, page, slice) order; concatenation keeps
+  // time order within each input.
+  for (size_t i = 0; i < spec.jobs.size(); ++i) {
+    Materialized& dst = (*inputs)[spec.jobs[i].input];
+    dst.times.insert(dst.times.end(), locals[i].times.begin(),
+                     locals[i].times.end());
+    dst.values.insert(dst.values.end(), locals[i].values.begin(),
+                      locals[i].values.end());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<QueryResult> Engine::Execute(const LogicalPlan& plan,
+                                    const storage::SeriesStore& store) const {
+  switch (plan.kind) {
+    case LogicalPlan::Kind::kAggregate:
+      return ExecuteAggregate(plan, store);
+    case LogicalPlan::Kind::kSelect:
+      return ExecuteSelect(plan, store);
+    case LogicalPlan::Kind::kProjectBinary:
+    case LogicalPlan::Kind::kUnion:
+    case LogicalPlan::Kind::kJoin:
+      return ExecuteBinary(plan, store);
+    case LogicalPlan::Kind::kCorrelate:
+      return ExecuteCorrelate(plan, store);
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<QueryResult> Engine::ExecuteOnFile(
+    const LogicalPlan& plan, storage::FileBackedStore* store) const {
+  if (plan.kind != LogicalPlan::Kind::kAggregate) {
+    return Status::NotSupported("file-backed path supports aggregation only");
+  }
+  Result<const storage::FileBackedStore::SeriesIndex*> series =
+      store->GetSeries(plan.series);
+  if (!series.ok()) return series.status();
+  const auto& refs = series.value()->pages;
+
+  TimeRange trange = plan.time_filter;
+  if (plan.window.active) trange.lo = std::max(trange.lo, plan.window.t_min);
+
+  // Header-only pruning: decide which pages to fetch at all.
+  std::vector<size_t> wanted;
+  QueryStats plan_stats;
+  for (size_t p = 0; p < refs.size(); ++p) {
+    const storage::PageHeader& h = refs[p].header;
+    ++plan_stats.pages_total;
+    plan_stats.tuples_in_pages += h.count;
+    if (!trange.Overlaps(h.min_time, h.max_time) ||
+        (options_.prune && plan.value_filter.active &&
+         (h.max_value < plan.value_filter.lo ||
+          h.min_value > plan.value_filter.hi))) {
+      ++plan_stats.pages_pruned;
+      continue;
+    }
+    plan_stats.bytes_loaded += h.time_bytes + h.value_bytes;
+    wanted.push_back(p);
+  }
+
+  QueryResult result;
+  result.stats = plan_stats;
+  std::mutex mu;
+  std::map<int64_t, AggAccum> windows;
+  AggAccum total;
+  Status first_error;
+  QueryStats run_stats;
+
+  RunJobs(wanted.size(), options_.threads, [&](size_t i) {
+    Result<std::shared_ptr<const storage::Page>> page =
+        store->LoadPage(plan.series, wanted[i]);
+    QueryStats local_stats;
+    Status st = page.ok() ? Status::Ok() : page.status();
+    std::map<int64_t, AggAccum> local_windows;
+    AggAccum local;
+    if (st.ok()) {
+      const storage::Page& pg = *page.value();
+      st = plan.window.active
+               ? AggregateSliceWindows(pg, 0, pg.header.count, plan.window,
+                                       plan.func, options_, &local_windows,
+                                       &local_stats)
+               : AggregateSlice(pg, 0, pg.header.count, plan.time_filter,
+                                plan.value_filter, plan.func, options_,
+                                &local, &local_stats);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (!st.ok() && first_error.ok()) first_error = st;
+    for (const auto& [k, acc] : local_windows) windows[k].Merge(acc);
+    total.Merge(local);
+    run_stats.Merge(local_stats);
+  });
+  if (!first_error.ok()) return first_error;
+  result.stats.Merge(run_stats);
+
+  if (plan.window.active) {
+    result.column_names = {"window_start", AggFuncName(plan.func)};
+    result.columns.assign(2, {});
+    for (const auto& [k, acc] : windows) {
+      double v = 0;
+      Status st = acc.Finalize(plan.func, &v);
+      if (st.code() == StatusCode::kOverflow) return st;
+      if (!st.ok()) continue;
+      result.columns[0].push_back(
+          static_cast<double>(plan.window.WindowStart(k)));
+      result.columns[1].push_back(v);
+    }
+  } else {
+    result.column_names = {AggFuncName(plan.func)};
+    result.columns.assign(1, {});
+    double v = 0;
+    Status st = total.Finalize(plan.func, &v);
+    if (st.code() == StatusCode::kOverflow) return st;
+    if (st.ok()) result.columns[0].push_back(v);
+  }
+  result.stats.result_tuples = result.num_rows();
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteAggregate(
+    const LogicalPlan& plan, const storage::SeriesStore& store) const {
+  Result<PipelineSpec> spec = BuildPipeline(plan, store, options_);
+  if (!spec.ok()) return spec.status();
+  Result<const storage::SeriesStore::Series*> series =
+      store.GetSeries(plan.series);
+  if (!series.ok()) return series.status();
+  const auto& pages = series.value()->pages;
+
+  QueryResult result;
+  result.stats = spec.value().plan_stats;
+
+  // Float-valued series take the double pipeline (XOR-pattern codecs).
+  const bool is_float =
+      !pages.empty() && enc::IsFloatEncoding(pages[0].header.value_encoding);
+
+  std::mutex mu;
+  std::map<int64_t, AggAccum> windows;  // window index -> accum
+  std::map<int64_t, FloatAggAccum> fwindows;
+  AggAccum total;
+  FloatAggAccum ftotal;
+  Status first_error;
+  QueryStats run_stats;
+
+  RunJobs(spec.value().jobs.size(), options_.threads, [&](size_t i) {
+    const PipeJob& job = spec.value().jobs[i];
+    const storage::Page& page = pages[job.page_index];
+    QueryStats local_stats;
+    Status st;
+    if (is_float && plan.window.active) {
+      std::map<int64_t, FloatAggAccum> local;
+      st = AggregateFloatSliceWindows(page, job.begin, job.end, plan.window,
+                                      plan.func, options_, &local,
+                                      &local_stats);
+      std::lock_guard<std::mutex> lock(mu);
+      for (const auto& [k, acc] : local) fwindows[k].Merge(acc);
+      if (!st.ok() && first_error.ok()) first_error = st;
+      run_stats.Merge(local_stats);
+    } else if (is_float) {
+      FloatAggAccum local;
+      st = AggregateFloatSlice(page, job.begin, job.end, plan.time_filter,
+                               plan.value_filter, plan.func, options_, &local,
+                               &local_stats);
+      std::lock_guard<std::mutex> lock(mu);
+      ftotal.Merge(local);
+      if (!st.ok() && first_error.ok()) first_error = st;
+      run_stats.Merge(local_stats);
+    } else if (plan.window.active) {
+      std::map<int64_t, AggAccum> local;
+      st = AggregateSliceWindows(page, job.begin, job.end, plan.window,
+                                 plan.func, options_, &local, &local_stats);
+      std::lock_guard<std::mutex> lock(mu);
+      for (const auto& [k, acc] : local) windows[k].Merge(acc);
+      if (!st.ok() && first_error.ok()) first_error = st;
+      run_stats.Merge(local_stats);
+    } else {
+      AggAccum local;
+      st = AggregateSlice(page, job.begin, job.end, plan.time_filter,
+                          plan.value_filter, plan.func, options_, &local,
+                          &local_stats);
+      std::lock_guard<std::mutex> lock(mu);
+      total.Merge(local);
+      if (!st.ok() && first_error.ok()) first_error = st;
+      run_stats.Merge(local_stats);
+    }
+  });
+  if (!first_error.ok()) return first_error;
+  result.stats.Merge(run_stats);
+
+  if (plan.window.active) {
+    result.column_names = {"window_start", AggFuncName(plan.func)};
+    result.columns.assign(2, {});
+    auto emit = [&](int64_t k, double v) {
+      result.columns[0].push_back(
+          static_cast<double>(plan.window.WindowStart(k)));
+      result.columns[1].push_back(v);
+    };
+    if (is_float) {
+      for (const auto& [k, acc] : fwindows) {
+        double v = 0;
+        if (acc.Finalize(plan.func, &v).ok()) emit(k, v);
+      }
+    } else {
+      for (const auto& [k, acc] : windows) {
+        double v = 0;
+        Status st = acc.Finalize(plan.func, &v);
+        if (st.code() == StatusCode::kOverflow) return st;
+        if (!st.ok()) continue;  // empty window
+        emit(k, v);
+      }
+    }
+  } else {
+    result.column_names = {AggFuncName(plan.func)};
+    result.columns.assign(1, {});
+    double v = 0;
+    Status st = is_float ? ftotal.Finalize(plan.func, &v)
+                         : total.Finalize(plan.func, &v);
+    if (st.code() == StatusCode::kOverflow) return st;
+    if (st.ok()) result.columns[0].push_back(v);
+  }
+  result.stats.result_tuples = result.num_rows();
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteSelect(
+    const LogicalPlan& plan, const storage::SeriesStore& store) const {
+  Result<PipelineSpec> spec = BuildPipeline(plan, store, options_);
+  if (!spec.ok()) return spec.status();
+  QueryResult result;
+  result.stats = spec.value().plan_stats;
+
+  std::vector<Materialized> inputs(2);
+  ETSQP_RETURN_IF_ERROR(MaterializeInputs(plan, store, options_, spec.value(),
+                                          &inputs, &result.stats));
+  const Materialized& m = inputs[0];
+  result.column_names = {"time", "value"};
+  result.columns.assign(2, {});
+  result.columns[0].assign(m.times.begin(), m.times.end());
+  result.columns[1].assign(m.values.begin(), m.values.end());
+  result.stats.result_tuples = result.num_rows();
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteBinary(
+    const LogicalPlan& plan, const storage::SeriesStore& store) const {
+  Result<PipelineSpec> spec = BuildPipeline(plan, store, options_);
+  if (!spec.ok()) return spec.status();
+  QueryResult result;
+  result.stats = spec.value().plan_stats;
+
+  std::vector<Materialized> inputs(2);
+  ETSQP_RETURN_IF_ERROR(MaterializeInputs(plan, store, options_, spec.value(),
+                                          &inputs, &result.stats));
+  const Materialized& l = inputs[0];
+  const Materialized& r = inputs[1];
+
+  if (plan.kind == LogicalPlan::Kind::kUnion) {
+    // Q5: series concatenation merged by time (Eq. 5).
+    result.column_names = {"time", "value"};
+    result.columns.assign(2, {});
+    result.columns[0].reserve(l.times.size() + r.times.size());
+    result.columns[1].reserve(l.times.size() + r.times.size());
+    size_t i = 0, j = 0;
+    while (i < l.times.size() || j < r.times.size()) {
+      bool take_left =
+          j >= r.times.size() ||
+          (i < l.times.size() && l.times[i] <= r.times[j]);
+      if (take_left) {
+        result.columns[0].push_back(static_cast<double>(l.times[i]));
+        result.columns[1].push_back(static_cast<double>(l.values[i]));
+        ++i;
+      } else {
+        result.columns[0].push_back(static_cast<double>(r.times[j]));
+        result.columns[1].push_back(static_cast<double>(r.values[j]));
+        ++j;
+      }
+    }
+  } else {
+    // Q4/Q6: natural join on timestamps (Eq. 6). The join produces mask
+    // vectors over both inputs — the representation the pipeline shares
+    // with the value columns (Figure 9) — then the masked tuples are
+    // emitted in time order.
+    bool project = plan.kind == LogicalPlan::Kind::kProjectBinary;
+    std::vector<uint64_t> mask_l(CeilDiv(l.times.size(), 64) + 1);
+    std::vector<uint64_t> mask_r(CeilDiv(r.times.size(), 64) + 1);
+    size_t matches = simd::JoinMasksInt64(l.times.data(), l.times.size(),
+                                          r.times.data(), r.times.size(),
+                                          mask_l.data(), mask_r.data());
+    if (project) {
+      result.column_names = {"time", "expr"};
+      result.columns.assign(2, {});
+    } else {
+      result.column_names = {"time", "left", "right"};
+      result.columns.assign(3, {});
+    }
+    for (auto& col : result.columns) col.reserve(matches);
+    // The k-th set bit of mask_l pairs with the k-th set bit of mask_r
+    // (matches appear in the same time order on both sides).
+    auto inter_ok = [&plan](int64_t a, int64_t b) {
+      switch (plan.inter_column_op) {
+        case '<':
+          return a < b;
+        case '>':
+          return a > b;
+        case '=':
+          return a == b;
+        default:
+          return true;
+      }
+    };
+    size_t i = 0, j = 0;
+    for (size_t k = 0; k < matches; ++k) {
+      while (!(mask_l[i >> 6] & (1ull << (i & 63)))) ++i;
+      while (!(mask_r[j >> 6] & (1ull << (j & 63)))) ++j;
+      int64_t a = l.values[i];
+      int64_t b = r.values[j];
+      ++i;
+      ++j;
+      if (!inter_ok(a, b)) continue;  // Eq. 3: filter on decoded vectors
+      result.columns[0].push_back(static_cast<double>(l.times[i - 1]));
+      if (project) {
+        int64_t v = plan.binary_op == '-'   ? a - b
+                    : plan.binary_op == '*' ? a * b
+                                            : a + b;
+        result.columns[1].push_back(static_cast<double>(v));
+      } else {
+        result.columns[1].push_back(static_cast<double>(a));
+        result.columns[2].push_back(static_cast<double>(b));
+      }
+    }
+  }
+  result.stats.result_tuples = result.num_rows();
+  return result;
+}
+
+namespace {
+
+/// Pearson correlation / covariance accumulator over aligned pairs.
+struct CorrAccum {
+  __int128 sum_a = 0;
+  __int128 sum_b = 0;
+  __int128 sum_a2 = 0;
+  __int128 sum_b2 = 0;
+  __int128 sum_ab = 0;
+  uint64_t n = 0;
+
+  void Finish(QueryResult* result) const {
+    result->column_names = {"corr", "cov", "n"};
+    result->columns.assign(3, {});
+    if (n == 0) return;
+    double dn = static_cast<double>(n);
+    double ma = static_cast<double>(sum_a) / dn;
+    double mb = static_cast<double>(sum_b) / dn;
+    double cov = static_cast<double>(sum_ab) / dn - ma * mb;
+    double va = static_cast<double>(sum_a2) / dn - ma * ma;
+    double vb = static_cast<double>(sum_b2) / dn - mb * mb;
+    double denom = std::sqrt(va) * std::sqrt(vb);
+    result->columns[0].push_back(denom > 0 ? cov / denom : 0.0);
+    result->columns[1].push_back(cov);
+    result->columns[2].push_back(dn);
+  }
+};
+
+/// True when the two series share identical page layout and timestamps and
+/// both value columns are Delta-RLE — the Section IV fused cross-product
+/// applies page by page, no decoding at all.
+bool FusedCorrApplies(const storage::SeriesStore::Series& a,
+                      const storage::SeriesStore::Series& b) {
+  if (a.pages.size() != b.pages.size()) return false;
+  for (size_t p = 0; p < a.pages.size(); ++p) {
+    const storage::PageHeader& ha = a.pages[p].header;
+    const storage::PageHeader& hb = b.pages[p].header;
+    if (ha.count != hb.count || ha.min_time != hb.min_time ||
+        ha.max_time != hb.max_time ||
+        ha.value_encoding != enc::ColumnEncoding::kDeltaRle ||
+        hb.value_encoding != enc::ColumnEncoding::kDeltaRle ||
+        ha.time_bytes != hb.time_bytes) {
+      return false;
+    }
+    // Equal encoded time columns <=> equal timestamps (encoding is a
+    // deterministic function of the series).
+    if (std::memcmp(a.pages[p].time_data.data(), b.pages[p].time_data.data(),
+                    ha.time_bytes) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<QueryResult> Engine::ExecuteCorrelate(
+    const LogicalPlan& plan, const storage::SeriesStore& store) const {
+  Result<const storage::SeriesStore::Series*> left =
+      store.GetSeries(plan.series);
+  if (!left.ok()) return left.status();
+  Result<const storage::SeriesStore::Series*> right =
+      store.GetSeries(plan.series_right);
+  if (!right.ok()) return right.status();
+
+  QueryResult result;
+  CorrAccum accum;
+
+  const bool no_filters =
+      plan.time_filter.IsUniverse() && !plan.value_filter.active;
+  if (options_.fusion && options_.strategy == DecodeStrategy::kEtsqp &&
+      no_filters && FusedCorrApplies(*left.value(), *right.value())) {
+    // Section IV fused path: per page pair, closed-form sums over the
+    // <delta, run> structure — SUM, SUM^2 (FusedAggDeltaRle) and the
+    // cross-product polynomial (FusedCrossDeltaRle). No value decoding.
+    std::mutex mu;
+    Status first_error;
+    const auto& pa = left.value()->pages;
+    const auto& pb = right.value()->pages;
+    RunJobs(pa.size(), options_.threads, [&](size_t p) {
+      auto ca = enc::DeltaRleColumn::Parse(pa[p].value_data.data(),
+                                           pa[p].value_data.size());
+      auto cb = enc::DeltaRleColumn::Parse(pb[p].value_data.data(),
+                                           pb[p].value_data.size());
+      Status st;
+      CorrAccum local;
+      if (!ca.ok()) {
+        st = ca.status();
+      } else if (!cb.ok()) {
+        st = cb.status();
+      } else {
+        uint32_t n = ca.value().count();
+        DeltaRleAggregates aa, ab;
+        __int128 cross = 0;
+        st = FusedAggDeltaRle(ca.value(), 0, n, true, &aa);
+        if (st.ok()) st = FusedAggDeltaRle(cb.value(), 0, n, true, &ab);
+        if (st.ok()) {
+          st = FusedCrossDeltaRle(ca.value(), cb.value(), 0, n, &cross);
+        }
+        if (st.ok()) {
+          local.sum_a = aa.sum;
+          local.sum_b = ab.sum;
+          local.sum_a2 = aa.sum_sq;
+          local.sum_b2 = ab.sum_sq;
+          local.sum_ab = cross;
+          local.n = aa.count;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (!st.ok() && first_error.ok()) first_error = st;
+      accum.sum_a += local.sum_a;
+      accum.sum_b += local.sum_b;
+      accum.sum_a2 += local.sum_a2;
+      accum.sum_b2 += local.sum_b2;
+      accum.sum_ab += local.sum_ab;
+      accum.n += local.n;
+      result.stats.pages_total += 2;
+      result.stats.tuples_in_pages += 2 * pa[p].header.count;
+      result.stats.bytes_loaded +=
+          pa[p].encoded_bytes() + pb[p].encoded_bytes();
+    });
+    if (!first_error.ok()) return first_error;
+    accum.Finish(&result);
+    result.stats.result_tuples = result.num_rows();
+    return result;
+  }
+
+  // General path: materialize, join on time, accumulate.
+  Result<PipelineSpec> spec = BuildPipeline(plan, store, options_);
+  if (!spec.ok()) return spec.status();
+  result.stats = spec.value().plan_stats;
+  std::vector<Materialized> inputs(2);
+  ETSQP_RETURN_IF_ERROR(MaterializeInputs(plan, store, options_, spec.value(),
+                                          &inputs, &result.stats));
+  const Materialized& l = inputs[0];
+  const Materialized& r = inputs[1];
+  std::vector<uint64_t> mask_l(CeilDiv(l.times.size(), 64) + 1);
+  std::vector<uint64_t> mask_r(CeilDiv(r.times.size(), 64) + 1);
+  size_t matches = simd::JoinMasksInt64(l.times.data(), l.times.size(),
+                                        r.times.data(), r.times.size(),
+                                        mask_l.data(), mask_r.data());
+  size_t i = 0, j = 0;
+  for (size_t k = 0; k < matches; ++k) {
+    while (!(mask_l[i >> 6] & (1ull << (i & 63)))) ++i;
+    while (!(mask_r[j >> 6] & (1ull << (j & 63)))) ++j;
+    int64_t a = l.values[i];
+    int64_t b = r.values[j];
+    accum.sum_a += a;
+    accum.sum_b += b;
+    accum.sum_a2 += static_cast<__int128>(a) * a;
+    accum.sum_b2 += static_cast<__int128>(b) * b;
+    accum.sum_ab += static_cast<__int128>(a) * b;
+    ++accum.n;
+    ++i;
+    ++j;
+  }
+  accum.Finish(&result);
+  result.stats.result_tuples = result.num_rows();
+  return result;
+}
+
+PipelineOptions EtsqpOptions(int threads) {
+  PipelineOptions o;
+  o.strategy = DecodeStrategy::kEtsqp;
+  o.prune = false;
+  o.fusion = true;
+  o.threads = threads;
+  return o;
+}
+
+PipelineOptions EtsqpPruneOptions(int threads) {
+  PipelineOptions o = EtsqpOptions(threads);
+  o.prune = true;
+  return o;
+}
+
+PipelineOptions SerialOptions() {
+  PipelineOptions o;
+  o.strategy = DecodeStrategy::kSerial;
+  o.prune = false;
+  o.fusion = false;
+  o.threads = 1;
+  return o;
+}
+
+PipelineOptions SboostOptions(int threads) {
+  PipelineOptions o;
+  o.strategy = DecodeStrategy::kSboost;
+  o.prune = false;
+  o.fusion = false;
+  o.threads = threads;
+  return o;
+}
+
+PipelineOptions FastLanesOptions(int threads) {
+  PipelineOptions o;
+  o.strategy = DecodeStrategy::kFastLanes;
+  o.prune = false;
+  o.fusion = false;
+  o.threads = threads;
+  return o;
+}
+
+}  // namespace etsqp::exec

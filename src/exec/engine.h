@@ -1,0 +1,61 @@
+#ifndef ETSQP_EXEC_ENGINE_H_
+#define ETSQP_EXEC_ENGINE_H_
+
+#include "common/status.h"
+#include "exec/expr.h"
+#include "exec/pipeline.h"
+#include "storage/buffer_manager.h"
+#include "storage/series_store.h"
+
+namespace etsqp::exec {
+
+/// The ETSQP query engine facade: compiles a logical plan with Pipe
+/// (Algorithm 2), runs the decoding/aggregation pipelines on the job
+/// scheduler, and merges partial results (Figure 9's merge nodes).
+///
+/// The evaluation baselines are configurations of this engine:
+///   ETSQP        {kEtsqp,  prune=false, fusion=true}
+///   ETSQP-prune  {kEtsqp,  prune=true,  fusion=true}
+///   Serial       {kSerial}
+///   SBoost       {kSboost, fusion=false}
+///   FastLanes    {kFastLanes} over FLMM1024-encoded pages
+class Engine {
+ public:
+  explicit Engine(PipelineOptions options) : options_(options) {}
+
+  /// Executes `plan` against `store` and returns the result table.
+  Result<QueryResult> Execute(const LogicalPlan& plan,
+                              const storage::SeriesStore& store) const;
+
+  /// Executes an aggregation plan against a file-backed store (Section
+  /// VI-C's gradual page loading): pages pruned by header statistics are
+  /// never fetched from the file; the rest stream through the LRU buffer
+  /// pool. Only kAggregate plans are supported on this path.
+  Result<QueryResult> ExecuteOnFile(const LogicalPlan& plan,
+                                    storage::FileBackedStore* store) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  Result<QueryResult> ExecuteAggregate(const LogicalPlan& plan,
+                                       const storage::SeriesStore& store) const;
+  Result<QueryResult> ExecuteSelect(const LogicalPlan& plan,
+                                    const storage::SeriesStore& store) const;
+  Result<QueryResult> ExecuteBinary(const LogicalPlan& plan,
+                                    const storage::SeriesStore& store) const;
+  Result<QueryResult> ExecuteCorrelate(const LogicalPlan& plan,
+                                       const storage::SeriesStore& store) const;
+
+  PipelineOptions options_;
+};
+
+/// Canonical option sets for the evaluation baselines.
+PipelineOptions EtsqpOptions(int threads = 1);
+PipelineOptions EtsqpPruneOptions(int threads = 1);
+PipelineOptions SerialOptions();
+PipelineOptions SboostOptions(int threads = 1);
+PipelineOptions FastLanesOptions(int threads = 1);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_ENGINE_H_

@@ -1,0 +1,23 @@
+#include "exec/expr.h"
+
+namespace etsqp::exec {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kVariance:
+      return "VAR";
+  }
+  return "?";
+}
+
+}  // namespace etsqp::exec

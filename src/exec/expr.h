@@ -1,0 +1,134 @@
+#ifndef ETSQP_EXEC_EXPR_H_
+#define ETSQP_EXEC_EXPR_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace etsqp::exec {
+
+/// Aggregation functions (Definition 2: valid value aggregation). SUM/COUNT
+/// are associative; AVG/VARIANCE are algebraic over (sum, count, sum_sq);
+/// MIN/MAX are associative but not Delta-fusable (they require decoding).
+enum class AggFunc {
+  kSum,
+  kAvg,
+  kCount,
+  kMin,
+  kMax,
+  kVariance,
+};
+
+const char* AggFuncName(AggFunc f);
+
+/// Inclusive time range predicate T >= lo AND T <= hi.
+struct TimeRange {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+
+  bool IsUniverse() const {
+    return lo == std::numeric_limits<int64_t>::min() &&
+           hi == std::numeric_limits<int64_t>::max();
+  }
+  bool Contains(int64_t t) const { return t >= lo && t <= hi; }
+  bool Overlaps(int64_t mn, int64_t mx) const { return mn <= hi && mx >= lo; }
+};
+
+/// Inclusive value range predicate A >= lo AND A <= hi. `active` false means
+/// no value predicate.
+struct ValueRange {
+  bool active = false;
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+
+  bool Contains(int64_t v) const { return !active || (v >= lo && v <= hi); }
+};
+
+/// Sliding window description sw(T_min, dT) (Definition 2): window k covers
+/// [T_min + k*dT, T_min + (k+1)*dT). `active` false = single whole-range agg.
+struct SlidingWindow {
+  bool active = false;
+  int64_t t_min = 0;
+  int64_t delta_t = 1;
+
+  int64_t WindowIndex(int64_t t) const { return (t - t_min) / delta_t; }
+  int64_t WindowStart(int64_t k) const { return t_min + k * delta_t; }
+};
+
+/// Logical query plan covering the benchmark dialect (Table III) plus simple
+/// extensions. One node description rather than a full tree: the Q1-Q6
+/// shapes are fixed pipelines (Figure 2/9), which Pipe (Algorithm 2)
+/// compiles into per-thread jobs.
+struct LogicalPlan {
+  enum class Kind {
+    kAggregate,       // Q1-Q3: SELECT f(A) FROM ts [WHERE ...] [SW(...)]
+    kSelect,          // SELECT * FROM ts [WHERE ...]
+    kProjectBinary,   // Q4: SELECT ts1.A <op> ts2.A FROM ts1, ts2
+    kUnion,           // Q5: SELECT * FROM ts1 UNION ts2 ORDER BY TIME
+    kJoin,            // Q6: SELECT * FROM ts1, ts2 (natural join on time)
+    kCorrelate,       // SELECT CORR(ts1.A, ts2.A) FROM ts1, ts2
+  };
+
+  Kind kind = Kind::kAggregate;
+  std::string series;        // left/primary input
+  std::string series_right;  // right input for binary operators
+  AggFunc func = AggFunc::kSum;
+  TimeRange time_filter;
+  ValueRange value_filter;
+  SlidingWindow window;
+  char binary_op = '+';  // + - * for kProjectBinary
+
+  /// Inter-column predicate on joined tuples: left.value <op> right.value
+  /// (Algorithm 2 Eq. 3: single-column filters push into the decoding
+  /// pipelines; inter-column filters apply to the decoded vectors after the
+  /// join mask). 0 = none; otherwise one of < > = (<= >= fold via swap).
+  char inter_column_op = 0;
+
+  static LogicalPlan Aggregate(std::string series, AggFunc func) {
+    LogicalPlan p;
+    p.kind = Kind::kAggregate;
+    p.series = std::move(series);
+    p.func = func;
+    return p;
+  }
+};
+
+/// Execution counters reported with every query result; the benches derive
+/// throughput (tuples of loaded pages per second, counting pruned slices —
+/// Section VII-B) and I/O volume from these.
+struct QueryStats {
+  uint64_t pages_total = 0;
+  uint64_t pages_pruned = 0;   // skipped whole (header-only)
+  uint64_t blocks_pruned = 0;  // skipped by Propositions 4-5
+  uint64_t tuples_in_pages = 0;
+  uint64_t tuples_scanned = 0;  // actually decoded/inspected
+  uint64_t bytes_loaded = 0;    // encoded payload bytes touched
+  uint64_t result_tuples = 0;
+
+  void Merge(const QueryStats& o) {
+    pages_total += o.pages_total;
+    pages_pruned += o.pages_pruned;
+    blocks_pruned += o.blocks_pruned;
+    tuples_in_pages += o.tuples_in_pages;
+    tuples_scanned += o.tuples_scanned;
+    bytes_loaded += o.bytes_loaded;
+    result_tuples += o.result_tuples;
+  }
+};
+
+/// Tabular query output. Values are doubles (timestamps in the benchmark
+/// datasets stay below 2^53, so the conversion is exact).
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<double>> columns;
+  QueryStats stats;
+
+  size_t num_rows() const {
+    return columns.empty() ? 0 : columns[0].size();
+  }
+};
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_EXPR_H_

@@ -1,0 +1,213 @@
+#include "exec/fusion.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "simd/agg_simd.h"
+#include "simd/unpack.h"
+
+namespace etsqp::exec {
+
+namespace {
+
+constexpr __int128 kInt64Max = std::numeric_limits<int64_t>::max();
+constexpr __int128 kInt64Min = std::numeric_limits<int64_t>::min();
+
+bool FitsInt64(__int128 v) { return v >= kInt64Min && v <= kInt64Max; }
+
+/// Sum of k over [k1, k2].
+inline __int128 SumK(int64_t k1, int64_t k2) {
+  if (k1 > k2) return 0;
+  return (static_cast<__int128>(k1) + k2) * (k2 - k1 + 1) / 2;
+}
+
+/// Sum of k^2 over [k1, k2].
+inline __int128 SumK2(int64_t k1, int64_t k2) {
+  if (k1 > k2) return 0;
+  auto f = [](__int128 m) { return m * (m + 1) * (2 * m + 1) / 6; };
+  return f(k2) - f(k1 - 1);
+}
+
+}  // namespace
+
+Result<Ts2DiffFusedReader> Ts2DiffFusedReader::Open(const uint8_t* data,
+                                                    size_t size) {
+  Result<enc::Ts2DiffColumn> parsed = enc::Ts2DiffColumn::Parse(data, size);
+  if (!parsed.ok()) return parsed.status();
+  Ts2DiffFusedReader reader;
+  reader.col_ = std::move(parsed).value();
+  reader.residuals_.resize(reader.col_.blocks().size());
+  reader.unpacked_.assign(reader.col_.blocks().size(), false);
+  return reader;
+}
+
+Status Ts2DiffFusedReader::EnsureUnpacked(size_t block_index) {
+  if (unpacked_[block_index]) return Status::Ok();
+  const enc::Ts2DiffBlock& b = col_.blocks()[block_index];
+  if (b.width > 31) {
+    return Status::NotSupported("fused sum: residual width > 31");
+  }
+  std::vector<int32_t>& res = residuals_[block_index];
+  res.resize(b.num_deltas);
+  simd::UnpackBE32(b.packed, b.packed_bytes, b.num_deltas, b.width,
+                   reinterpret_cast<uint32_t*>(res.data()));
+  unpacked_[block_index] = true;
+  return Status::Ok();
+}
+
+Status Ts2DiffFusedReader::SumRange(size_t begin, size_t end, int64_t* out) {
+  end = std::min<size_t>(end, col_.count());
+  __int128 total = 0;
+  for (size_t bi = 0; bi < col_.blocks().size(); ++bi) {
+    const enc::Ts2DiffBlock& b = col_.blocks()[bi];
+    size_t bs = b.start_index;
+    size_t be = bs + b.num_values();
+    if (be <= begin || bs >= end) continue;
+    ETSQP_RETURN_IF_ERROR(EnsureUnpacked(bi));
+    const std::vector<int32_t>& res = residuals_[bi];
+    size_t la = std::max(bs, begin) - bs;
+    size_t lb = std::min(be, end) - bs;
+    int64_t m = static_cast<int64_t>(lb - la);
+
+    // X_la = first + la * base + sum residuals[0..la) — plain SIMD sum, no
+    // per-element dependency.
+    __int128 x_la = b.first_value +
+                    static_cast<__int128>(b.min_delta) * la +
+                    simd::SumInt32(res.data(), la);
+    // Block slice sum = m*X_la + base*m(m-1)/2 + sum (m-1-k) residual[la+k].
+    __int128 block_sum = x_la * m +
+                         static_cast<__int128>(b.min_delta) * m * (m - 1) / 2 +
+                         simd::WeightedRampSumInt32(res.data() + la,
+                                                    lb - la - 1);
+    total += block_sum;
+    if (!FitsInt64(total)) return Status::Overflow("fused SUM overflow");
+  }
+  *out = static_cast<int64_t>(total);
+  return Status::Ok();
+}
+
+Status Ts2DiffFusedReader::ValueAt(size_t pos, int64_t* out) {
+  if (pos >= col_.count()) return Status::OutOfRange("pos");
+  for (size_t bi = 0; bi < col_.blocks().size(); ++bi) {
+    const enc::Ts2DiffBlock& b = col_.blocks()[bi];
+    size_t bs = b.start_index;
+    size_t be = bs + b.num_values();
+    if (pos < bs || pos >= be) continue;
+    ETSQP_RETURN_IF_ERROR(EnsureUnpacked(bi));
+    size_t la = pos - bs;
+    const std::vector<int32_t>& res = residuals_[bi];
+    *out = b.first_value + static_cast<int64_t>(b.min_delta) * la +
+           simd::SumInt32(res.data(), la);
+    return Status::Ok();
+  }
+  return Status::Internal("block lookup");
+}
+
+Status FusedAggDeltaRle(const enc::DeltaRleColumn& col, size_t begin,
+                        size_t end, bool need_sq, DeltaRleAggregates* out) {
+  end = std::min<size_t>(end, col.count());
+  *out = DeltaRleAggregates{};
+  if (col.count() == 0 || begin >= end) return Status::Ok();
+
+  __int128 sum = 0;
+  __int128 sum_sq = 0;
+  uint64_t count = 0;
+
+  // Position 0 is the stored first value.
+  int64_t a = col.first_value();
+  if (begin == 0) {
+    sum += a;
+    if (need_sq) sum_sq += static_cast<__int128>(a) * a;
+    ++count;
+  }
+
+  std::vector<enc::DeltaRun> pairs;
+  ETSQP_RETURN_IF_ERROR(col.DecodePairs(&pairs));
+  size_t p = 0;  // global position of `a`
+  for (const enc::DeltaRun& run : pairs) {
+    if (p + 1 >= end) break;
+    int64_t d = run.delta;
+    int64_t r = run.run;
+    // Run covers positions p+1 .. p+r with value a + k*d at position p+k.
+    int64_t k1 = std::max<int64_t>(1, static_cast<int64_t>(begin) -
+                                          static_cast<int64_t>(p));
+    int64_t k2 = std::min<int64_t>(r, static_cast<int64_t>(end) - 1 -
+                                          static_cast<int64_t>(p));
+    if (k1 <= k2) {
+      __int128 cnt = k2 - k1 + 1;
+      __int128 s1 = SumK(k1, k2);
+      sum += static_cast<__int128>(a) * cnt + static_cast<__int128>(d) * s1;
+      if (need_sq) {
+        __int128 s2 = SumK2(k1, k2);
+        sum_sq += static_cast<__int128>(a) * a * cnt +
+                  2 * static_cast<__int128>(a) * d * s1 +
+                  static_cast<__int128>(d) * d * s2;
+      }
+      count += static_cast<uint64_t>(cnt);
+      if (!FitsInt64(sum)) return Status::Overflow("fused SUM overflow");
+    }
+    a += d * r;
+    p += static_cast<size_t>(r);
+  }
+  out->sum = static_cast<int64_t>(sum);
+  out->sum_sq = sum_sq;
+  out->count = count;
+  return Status::Ok();
+}
+
+Status FusedCrossDeltaRle(const enc::DeltaRleColumn& ca,
+                          const enc::DeltaRleColumn& cb, size_t begin,
+                          size_t end, __int128* out) {
+  size_t n = std::min<size_t>(ca.count(), cb.count());
+  end = std::min(end, n);
+  __int128 cross = 0;
+  if (begin >= end) {
+    *out = 0;
+    return Status::Ok();
+  }
+
+  int64_t a = ca.first_value();
+  int64_t b = cb.first_value();
+  if (begin == 0) cross += static_cast<__int128>(a) * b;
+
+  std::vector<enc::DeltaRun> pa, pb;
+  ETSQP_RETURN_IF_ERROR(ca.DecodePairs(&pa));
+  ETSQP_RETURN_IF_ERROR(cb.DecodePairs(&pb));
+
+  // Walk both pair lists; `valid = min(RLE1, RLE2)` remaining steps share
+  // constant deltas on both sides (the Section IV polynomial).
+  size_t ia = 0, ib = 0;
+  uint32_t ra = ia < pa.size() ? pa[ia].run : 0;  // remaining in current run
+  uint32_t rb = ib < pb.size() ? pb[ib].run : 0;
+  size_t p = 0;  // global position of (a, b)
+  while (ia < pa.size() && ib < pb.size() && p + 1 < end) {
+    int64_t da = pa[ia].delta;
+    int64_t db = pb[ib].delta;
+    uint32_t valid = std::min(ra, rb);
+    // Positions p+1 .. p+valid: A = a + k*da, B = b + k*db.
+    int64_t k1 = std::max<int64_t>(1, static_cast<int64_t>(begin) -
+                                          static_cast<int64_t>(p));
+    int64_t k2 = std::min<int64_t>(valid, static_cast<int64_t>(end) - 1 -
+                                              static_cast<int64_t>(p));
+    if (k1 <= k2) {
+      __int128 cnt = k2 - k1 + 1;
+      __int128 s1 = SumK(k1, k2);
+      __int128 s2 = SumK2(k1, k2);
+      cross += static_cast<__int128>(a) * b * cnt +
+               static_cast<__int128>(a) * db * s1 +
+               static_cast<__int128>(b) * da * s1 +
+               static_cast<__int128>(da) * db * s2;
+    }
+    a += da * valid;
+    b += db * valid;
+    p += valid;
+    ra -= valid;
+    rb -= valid;
+    if (ra == 0 && ++ia < pa.size()) ra = pa[ia].run;
+    if (rb == 0 && ++ib < pb.size()) rb = pb[ib].run;
+  }
+  *out = cross;
+  return Status::Ok();
+}
+
+}  // namespace etsqp::exec

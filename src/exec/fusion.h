@@ -1,0 +1,73 @@
+#ifndef ETSQP_EXEC_FUSION_H_
+#define ETSQP_EXEC_FUSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "encoding/delta_rle.h"
+#include "encoding/ts2diff.h"
+
+namespace etsqp::exec {
+
+/// Operator fusion (paper Section IV): aggregation without decoding.
+/// Associative aggregates over Delta(-Repeat) encoded data are computed as
+/// closed-form polynomials over the encoded <delta, run> structure, skipping
+/// both the Repeat flatten and the Delta accumulation.
+
+/// Fused SUM over a TS2DIFF column restricted to positions [begin, end).
+/// For a block slice, sum X_i = m * X_a + sum (b - i)(base + d_i) — a
+/// weighted dot product over *unpacked residuals* with no serial Delta
+/// dependency (computed with the WeightedRampSum SIMD kernel). X_a itself is
+/// a plain residual sum. Unpacked residuals are cached per block so sliding
+/// windows touching the same block unpack once.
+class Ts2DiffFusedReader {
+ public:
+  /// `data` must outlive the reader and carry 32 bytes of slack.
+  static Result<Ts2DiffFusedReader> Open(const uint8_t* data, size_t size);
+
+  uint32_t count() const { return col_.count(); }
+
+  /// Sum of values at positions [begin, end). Fails with kOverflow when the
+  /// exact sum exceeds int64 (Section VI-C).
+  Status SumRange(size_t begin, size_t end, int64_t* out);
+
+  /// Value at a single position (used for AVG cross-checks and tests).
+  Status ValueAt(size_t pos, int64_t* out);
+
+ private:
+  enc::Ts2DiffColumn col_;
+  // Per-block unpacked residuals (lazy).
+  std::vector<std::vector<int32_t>> residuals_;
+  std::vector<bool> unpacked_;
+
+  Status EnsureUnpacked(size_t block_index);
+};
+
+/// Fused aggregates over a Delta-RLE column (Section IV polynomials). Each
+/// <delta, run> pair contributes closed-form sums of an arithmetic
+/// progression: run work is O(1) regardless of run length — the Figure
+/// 12(c-d) effect.
+struct DeltaRleAggregates {
+  int64_t sum = 0;
+  uint64_t count = 0;
+  // Sum of squares, for VAR; computed only when requested.
+  __int128 sum_sq = 0;
+};
+
+/// Aggregates positions [begin, end). `need_sq` additionally computes
+/// sum A_i^2. Fails with kOverflow when sums exceed their domains.
+Status FusedAggDeltaRle(const enc::DeltaRleColumn& col, size_t begin,
+                        size_t end, bool need_sq, DeltaRleAggregates* out);
+
+/// Fused cross product sum A_i * B_i over two position-aligned Delta-RLE
+/// columns (the paper's correlation building block): at every step the
+/// overlap window of the two current runs is a pair of arithmetic
+/// progressions, aggregated with the 4-term polynomial of Section IV.
+Status FusedCrossDeltaRle(const enc::DeltaRleColumn& a,
+                          const enc::DeltaRleColumn& b, size_t begin,
+                          size_t end, __int128* out);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_FUSION_H_

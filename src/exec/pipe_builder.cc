@@ -1,0 +1,81 @@
+#include "exec/pipe_builder.h"
+
+#include <algorithm>
+
+namespace etsqp::exec {
+
+namespace {
+
+/// Effective time range of the plan (explicit filter intersected with the
+/// sliding-window span, which bounds qualifying timestamps from below).
+TimeRange EffectiveTimeRange(const LogicalPlan& plan) {
+  TimeRange r = plan.time_filter;
+  if (plan.window.active) r.lo = std::max(r.lo, plan.window.t_min);
+  return r;
+}
+
+/// Collects the non-pruned page indices and counts of one input series.
+Status CollectPages(const storage::SeriesStore& store,
+                    const std::string& name, const TimeRange& trange,
+                    const ValueRange& vrange, bool prune_values,
+                    std::vector<size_t>* page_indices,
+                    std::vector<size_t>* page_counts, QueryStats* stats) {
+  Result<const storage::SeriesStore::Series*> series = store.GetSeries(name);
+  if (!series.ok()) return series.status();
+  const auto& pages = series.value()->pages;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    const storage::PageHeader& h = pages[p].header;
+    ++stats->pages_total;
+    stats->tuples_in_pages += h.count;
+    if (!trange.Overlaps(h.min_time, h.max_time)) {
+      ++stats->pages_pruned;
+      continue;
+    }
+    if (prune_values && vrange.active &&
+        (h.max_value < vrange.lo || h.min_value > vrange.hi)) {
+      ++stats->pages_pruned;
+      continue;
+    }
+    stats->bytes_loaded += pages[p].encoded_bytes();
+    page_indices->push_back(p);
+    page_counts->push_back(h.count);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<PipelineSpec> BuildPipeline(const LogicalPlan& plan,
+                                   const storage::SeriesStore& store,
+                                   const PipelineOptions& options) {
+  PipelineSpec spec;
+  TimeRange trange = EffectiveTimeRange(plan);
+
+  std::vector<std::string> inputs{plan.series};
+  if (plan.kind == LogicalPlan::Kind::kProjectBinary ||
+      plan.kind == LogicalPlan::Kind::kUnion ||
+      plan.kind == LogicalPlan::Kind::kJoin ||
+      plan.kind == LogicalPlan::Kind::kCorrelate) {
+    inputs.push_back(plan.series_right);
+  }
+
+  for (size_t in = 0; in < inputs.size(); ++in) {
+    std::vector<size_t> page_indices;
+    std::vector<size_t> page_counts;
+    ETSQP_RETURN_IF_ERROR(CollectPages(store, inputs[in], trange,
+                                       plan.value_filter, options.prune,
+                                       &page_indices, &page_counts,
+                                       &spec.plan_stats));
+    // Lines 5-6 of Algorithm 2: slice pages when cores outnumber them.
+    std::vector<PageSlice> slices =
+        PlanSlices(page_counts, options.threads, 1024);
+    for (const PageSlice& s : slices) {
+      spec.jobs.push_back(PipeJob{static_cast<int>(in),
+                                  page_indices[s.page_index], s.begin,
+                                  s.end});
+    }
+  }
+  return spec;
+}
+
+}  // namespace etsqp::exec

@@ -1,0 +1,46 @@
+#ifndef ETSQP_EXEC_PIPE_BUILDER_H_
+#define ETSQP_EXEC_PIPE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/expr.h"
+#include "exec/pipeline.h"
+#include "exec/scheduler.h"
+#include "storage/series_store.h"
+
+namespace etsqp::exec {
+
+/// Pipe (paper Algorithm 2): compiles a logical plan plus the storage page
+/// map into per-thread pipeline jobs. Single-column filters are pushed into
+/// the decoding pipelines (Eq. 1-2); pages that the header statistics rule
+/// out are dropped here (whole-page pruning); remaining pages are split into
+/// block-aligned slices when there are more cores than pages (Lines 5-6);
+/// binary operators get one decoding pipeline per input, grouped by time
+/// range and combined by a merge node (Eq. 5-6, Figure 9).
+
+/// One decoding-pipeline job: a slice of one page of one input series.
+struct PipeJob {
+  int input = 0;  // 0 = plan.series, 1 = plan.series_right
+  size_t page_index = 0;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// The compiled pipeline: jobs ready for the job scheduler, plus counters
+/// for pages pruned at planning time.
+struct PipelineSpec {
+  std::vector<PipeJob> jobs;
+  QueryStats plan_stats;  // pages_total / pages_pruned / tuples_in_pages
+};
+
+/// Builds jobs for `plan`. Applies header-level page pruning (time range vs
+/// page min/max always; value range vs page min/max when options.prune).
+Result<PipelineSpec> BuildPipeline(const LogicalPlan& plan,
+                                   const storage::SeriesStore& store,
+                                   const PipelineOptions& options);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_PIPE_BUILDER_H_

@@ -1,0 +1,490 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "exec/fusion.h"
+#include "exec/pruning.h"
+#include "simd/agg_simd.h"
+#include "simd/filter_simd.h"
+#include "storage/page_builder.h"
+
+namespace etsqp::exec {
+
+namespace {
+
+constexpr __int128 kI64Max = std::numeric_limits<int64_t>::max();
+constexpr __int128 kI64Min = std::numeric_limits<int64_t>::min();
+
+bool FitsInt64(__int128 v) { return v >= kI64Min && v <= kI64Max; }
+
+int32_t ClampToInt32(int64_t v) {
+  if (v > std::numeric_limits<int32_t>::max()) {
+    return std::numeric_limits<int32_t>::max();
+  }
+  if (v < std::numeric_limits<int32_t>::min()) {
+    return std::numeric_limits<int32_t>::min();
+  }
+  return static_cast<int32_t>(v);
+}
+
+/// Positions [p0, p1) within `page` matching the time filter, intersected
+/// with the slice range [begin, end).
+Status SlicePositions(const storage::Page& page, size_t begin, size_t end,
+                      const TimeRange& trange, const PipelineOptions& opt,
+                      size_t* p0, size_t* p1, QueryStats* stats) {
+  end = std::min<size_t>(end, page.header.count);
+  if (trange.IsUniverse()) {
+    *p0 = begin;
+    *p1 = end;
+    return Status::Ok();
+  }
+  if (page.header.time_encoding != enc::ColumnEncoding::kTs2Diff) {
+    // Generic path: decode times and binary-search (sorted).
+    DecodedColumn times;
+    ETSQP_RETURN_IF_ERROR(DecodeColumn(
+        page.time_data.data(), page.time_data.size(),
+        page.header.time_encoding, page.header.count, opt.strategy, opt.n_v,
+        &times));
+    if (stats != nullptr) stats->tuples_scanned += times.size();
+    std::vector<int64_t> t(times.size());
+    times.Materialize(t.data());
+    size_t lo = std::lower_bound(t.begin(), t.end(), trange.lo) - t.begin();
+    size_t hi = std::upper_bound(t.begin(), t.end(), trange.hi) - t.begin();
+    *p0 = std::max(lo, begin);
+    *p1 = std::min(hi, end);
+    return Status::Ok();
+  }
+  size_t first = 0, last = 0;
+  uint64_t pruned = 0, scanned = 0;
+  ETSQP_RETURN_IF_ERROR(TimeRangePositions(
+      page.time_data.data(), page.time_data.size(), page.header.count, trange,
+      opt.strategy, opt.n_v, opt.prune, &first, &last, &pruned, &scanned));
+  if (stats != nullptr) {
+    stats->blocks_pruned += pruned;
+    stats->tuples_scanned += scanned;
+  }
+  *p0 = std::max(first, begin);
+  *p1 = std::min(last, end);
+  return Status::Ok();
+}
+
+/// Whether `func` consumes min/max (others skip that pass entirely).
+bool NeedsMinMax(AggFunc func) {
+  return func == AggFunc::kMin || func == AggFunc::kMax;
+}
+
+/// Aggregates a decoded column range [0, n) into `accum` (no value filter).
+void AggDecoded(const DecodedColumn& col, AggFunc func, AggAccum* accum) {
+  size_t n = col.size();
+  if (n == 0) return;
+  const bool need_sq = func == AggFunc::kVariance;
+  if (col.narrow && !need_sq) {
+    int64_t off_sum = simd::SumInt32(col.offsets.data(), n);
+    accum->sum += static_cast<__int128>(col.base) * n + off_sum;
+    accum->count += n;
+    if (NeedsMinMax(func)) {
+      int32_t mn, mx;
+      simd::MinMaxInt32(col.offsets.data(), n, &mn, &mx);
+      accum->min = std::min(accum->min, col.base + mn);
+      accum->max = std::max(accum->max, col.base + mx);
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) accum->AddValue(col.Get(i), need_sq);
+}
+
+/// Aggregates the subset of a decoded column matching `vrange`.
+void AggDecodedFiltered(const DecodedColumn& col, const ValueRange& vrange,
+                        AggFunc func, AggAccum* accum) {
+  size_t n = col.size();
+  if (n == 0) return;
+  const bool need_sq = func == AggFunc::kVariance;
+  if (col.narrow && !need_sq) {
+    int32_t rel_lo = ClampToInt32(vrange.lo == std::numeric_limits<int64_t>::min()
+                                      ? std::numeric_limits<int64_t>::min()
+                                      : vrange.lo - col.base);
+    int32_t rel_hi = ClampToInt32(vrange.hi == std::numeric_limits<int64_t>::max()
+                                      ? std::numeric_limits<int64_t>::max()
+                                      : vrange.hi - col.base);
+    std::vector<uint64_t> mask(CeilDiv(n, 64));
+    simd::RangeFilterMaskInt32(col.offsets.data(), n, rel_lo, rel_hi,
+                               mask.data());
+    size_t cnt = simd::CountMaskBits(mask.data(), n);
+    if (cnt == 0) return;
+    accum->count += cnt;
+    if (func != AggFunc::kCount && !NeedsMinMax(func)) {
+      int64_t off_sum =
+          simd::MaskedSumInt32(col.offsets.data(), mask.data(), n);
+      accum->sum += static_cast<__int128>(col.base) * cnt + off_sum;
+    }
+    if (NeedsMinMax(func)) {
+      int32_t mn, mx;
+      if (simd::MaskedMinMaxInt32(col.offsets.data(), mask.data(), n, &mn,
+                                  &mx)) {
+        accum->min = std::min(accum->min, col.base + mn);
+        accum->max = std::max(accum->max, col.base + mx);
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    int64_t v = col.Get(i);
+    if (vrange.Contains(v)) accum->AddValue(v, need_sq);
+  }
+}
+
+/// Per-slice cache for the fused value-column reader: sliding windows call
+/// AggValues once per window, but the unpacked-residual cache inside
+/// Ts2DiffFusedReader is only effective when shared across those calls.
+struct ValueColumnContext {
+  bool tried = false;
+  Result<Ts2DiffFusedReader> reader = Status::NotFound("unopened");
+
+  Ts2DiffFusedReader* Get(const storage::Page& page) {
+    if (!tried) {
+      tried = true;
+      reader = Ts2DiffFusedReader::Open(page.value_data.data(),
+                                        page.value_data.size());
+    }
+    return reader.ok() ? &reader.value() : nullptr;
+  }
+};
+
+/// Value aggregation over positions [p0, p1) with optional value filter and
+/// Proposition 5 block pruning. `ctx` (optional) shares the fused reader
+/// across calls on the same page.
+Status AggValues(const storage::Page& page, size_t p0, size_t p1,
+                 const ValueRange& vrange, AggFunc func,
+                 const PipelineOptions& opt, AggAccum* accum,
+                 QueryStats* stats, ValueColumnContext* ctx = nullptr) {
+  if (p0 >= p1) return Status::Ok();
+  const bool need_sq = func == AggFunc::kVariance;
+  const enc::ColumnEncoding venc = page.header.value_encoding;
+  const bool fusable =
+      opt.fusion && opt.strategy == DecodeStrategy::kEtsqp && !vrange.active &&
+      (func == AggFunc::kSum || func == AggFunc::kAvg ||
+       func == AggFunc::kCount ||
+       (func == AggFunc::kVariance && venc == enc::ColumnEncoding::kDeltaRle));
+
+  // COUNT with no value filter never needs the value column.
+  if (func == AggFunc::kCount && !vrange.active) {
+    accum->count += p1 - p0;
+    return Status::Ok();
+  }
+
+  if (fusable && venc == enc::ColumnEncoding::kTs2Diff) {
+    ValueColumnContext local;
+    Ts2DiffFusedReader* reader =
+        ctx != nullptr ? ctx->Get(page) : local.Get(page);
+    if (reader != nullptr) {
+      int64_t sum = 0;
+      Status st = reader->SumRange(p0, p1, &sum);
+      if (st.ok()) {
+        accum->sum += sum;
+        accum->count += p1 - p0;
+        if (stats != nullptr) stats->tuples_scanned += p1 - p0;
+        return Status::Ok();
+      }
+      // kOverflow: retry below at a larger quantity (the decode path
+      // accumulates in 128-bit — Section VI-C's "aggregate with a larger
+      // quantity"); kNotSupported (wide residuals): same fallback.
+    }
+  }
+  if (fusable && venc == enc::ColumnEncoding::kDeltaRle) {
+    Result<enc::DeltaRleColumn> col = enc::DeltaRleColumn::Parse(
+        page.value_data.data(), page.value_data.size());
+    if (!col.ok()) return col.status();
+    DeltaRleAggregates agg;
+    Status st = FusedAggDeltaRle(col.value(), p0, p1, need_sq, &agg);
+    if (st.ok()) {
+      accum->sum += agg.sum;
+      accum->sum_sq += agg.sum_sq;
+      accum->count += agg.count;
+      if (stats != nullptr) stats->tuples_scanned += agg.count;
+      return Status::Ok();
+    }
+    if (st.code() != StatusCode::kOverflow) return st;
+    // kOverflow: widen via the decode path below.
+  }
+
+  // Proposition 5: with a value filter over TS2DIFF, skip blocks whose
+  // width-derived bounds cannot intersect the filter range.
+  if (vrange.active && opt.prune &&
+      venc == enc::ColumnEncoding::kTs2Diff &&
+      opt.strategy != DecodeStrategy::kSerial) {
+    Result<enc::Ts2DiffColumn> parsed = enc::Ts2DiffColumn::Parse(
+        page.value_data.data(), page.value_data.size());
+    if (!parsed.ok()) return parsed.status();
+    for (const enc::Ts2DiffBlock& b : parsed.value().blocks()) {
+      size_t bs = b.start_index;
+      size_t be = bs + b.num_values();
+      size_t from = std::max(bs, p0);
+      size_t to = std::min(be, p1);
+      if (from >= to) continue;
+      if (ValueBlockPrunable(b, vrange.lo, vrange.hi)) {
+        if (stats != nullptr) ++stats->blocks_pruned;
+        continue;
+      }
+      DecodedColumn vals;
+      ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
+          page.value_data.data(), page.value_data.size(), venc,
+          page.header.count, opt.strategy, opt.n_v, from, to, &vals,
+          /*ordered=*/false));
+      if (stats != nullptr) stats->tuples_scanned += vals.size();
+      AggDecodedFiltered(vals, vrange, func, accum);
+    }
+    return Status::Ok();
+  }
+
+  // Plain decode-then-aggregate (order-insensitive consumers).
+  DecodedColumn vals;
+  ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
+      page.value_data.data(), page.value_data.size(), venc,
+      page.header.count, opt.strategy, opt.n_v, p0, p1, &vals,
+      /*ordered=*/false));
+  if (stats != nullptr) stats->tuples_scanned += vals.size();
+  if (vrange.active) {
+    AggDecodedFiltered(vals, vrange, func, accum);
+  } else {
+    AggDecoded(vals, func, accum);
+  }
+  // Sums accumulate in 128-bit; int64 range is enforced at Finalize for
+  // SUM only (AVG/VAR remain exact at this width — Section VI-C's larger
+  // quantity).
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status AggAccum::Finalize(AggFunc func, double* out) const {
+  switch (func) {
+    case AggFunc::kSum:
+      if (!FitsInt64(sum)) return Status::Overflow("SUM overflow");
+      *out = static_cast<double>(static_cast<int64_t>(sum));
+      return Status::Ok();
+    case AggFunc::kCount:
+      *out = static_cast<double>(count);
+      return Status::Ok();
+    case AggFunc::kAvg:
+      if (count == 0) return Status::NotFound("AVG of empty set");
+      *out = static_cast<double>(sum) / static_cast<double>(count);
+      return Status::Ok();
+    case AggFunc::kMin:
+      if (count == 0) return Status::NotFound("MIN of empty set");
+      *out = static_cast<double>(min);
+      return Status::Ok();
+    case AggFunc::kMax:
+      if (count == 0) return Status::NotFound("MAX of empty set");
+      *out = static_cast<double>(max);
+      return Status::Ok();
+    case AggFunc::kVariance: {
+      if (count == 0) return Status::NotFound("VAR of empty set");
+      double mean = static_cast<double>(sum) / static_cast<double>(count);
+      double ex2 = static_cast<double>(sum_sq) / static_cast<double>(count);
+      *out = ex2 - mean * mean;
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+Status FloatAggAccum::Finalize(AggFunc func, double* out) const {
+  switch (func) {
+    case AggFunc::kSum:
+      *out = sum;
+      return Status::Ok();
+    case AggFunc::kCount:
+      *out = static_cast<double>(count);
+      return Status::Ok();
+    case AggFunc::kAvg:
+      if (count == 0) return Status::NotFound("AVG of empty set");
+      *out = sum / static_cast<double>(count);
+      return Status::Ok();
+    case AggFunc::kMin:
+      if (count == 0) return Status::NotFound("MIN of empty set");
+      *out = min;
+      return Status::Ok();
+    case AggFunc::kMax:
+      if (count == 0) return Status::NotFound("MAX of empty set");
+      *out = max;
+      return Status::Ok();
+    case AggFunc::kVariance: {
+      if (count == 0) return Status::NotFound("VAR of empty set");
+      double mean = sum / static_cast<double>(count);
+      *out = sum_sq / static_cast<double>(count) - mean * mean;
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown aggregate");
+}
+
+Status AggregateFloatSlice(const storage::Page& page, size_t begin,
+                           size_t end, const TimeRange& trange,
+                           const ValueRange& vrange, AggFunc func,
+                           const PipelineOptions& opt, FloatAggAccum* accum,
+                           QueryStats* stats) {
+  size_t p0 = 0, p1 = 0;
+  ETSQP_RETURN_IF_ERROR(
+      SlicePositions(page, begin, end, trange, opt, &p0, &p1, stats));
+  if (p0 >= p1) return Status::Ok();
+  // XOR-pattern codecs are serial streams: decode the whole column once,
+  // then aggregate the slice positions.
+  std::vector<double> values(page.header.count);
+  ETSQP_RETURN_IF_ERROR(storage::DecodePageColumnF64(
+      page.value_data, page.header.value_encoding, page.header.count,
+      values.data()));
+  if (stats != nullptr) stats->tuples_scanned += p1 - p0;
+  const bool need_sq = func == AggFunc::kVariance;
+  double lo = vrange.active ? static_cast<double>(vrange.lo)
+                            : -std::numeric_limits<double>::infinity();
+  double hi = vrange.active ? static_cast<double>(vrange.hi)
+                            : std::numeric_limits<double>::infinity();
+  for (size_t i = p0; i < p1; ++i) {
+    double v = values[i];
+    if (v < lo || v > hi) continue;
+    accum->AddValue(v, need_sq);
+  }
+  return Status::Ok();
+}
+
+Status AggregateSlice(const storage::Page& page, size_t begin, size_t end,
+                      const TimeRange& trange, const ValueRange& vrange,
+                      AggFunc func, const PipelineOptions& opt,
+                      AggAccum* accum, QueryStats* stats) {
+  size_t p0 = 0, p1 = 0;
+  ETSQP_RETURN_IF_ERROR(
+      SlicePositions(page, begin, end, trange, opt, &p0, &p1, stats));
+  return AggValues(page, p0, p1, vrange, func, opt, accum, stats);
+}
+
+Status AggregateSliceWindows(const storage::Page& page, size_t begin,
+                             size_t end, const SlidingWindow& sw,
+                             AggFunc func, const PipelineOptions& opt,
+                             std::map<int64_t, AggAccum>* windows,
+                             QueryStats* stats) {
+  end = std::min<size_t>(end, page.header.count);
+  if (begin >= end) return Status::Ok();
+
+  // Decode the slice's timestamps once; window boundaries are then binary
+  // searches in the sorted array. (Constant-interval pages could skip this
+  // via Proposition 4; the generic path decodes.)
+  DecodedColumn times;
+  ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
+      page.time_data.data(), page.time_data.size(),
+      page.header.time_encoding, page.header.count, opt.strategy, opt.n_v,
+      begin, end, &times));
+  if (stats != nullptr) stats->tuples_scanned += times.size();
+  size_t n = times.size();
+  if (n == 0) return Status::Ok();
+  std::vector<int64_t> t(n);
+  times.Materialize(t.data());
+
+  int64_t first_k = sw.WindowIndex(t[0]);
+  if (t[0] < sw.t_min) first_k = 0;  // values before t_min are excluded
+  int64_t last_k = sw.WindowIndex(t[n - 1]);
+  if (t[n - 1] < sw.t_min) return Status::Ok();
+
+  size_t pos = 0;
+  // Skip tuples before the first window. The fused reader's per-block
+  // residual cache is shared across all windows of this slice.
+  ValueColumnContext vctx;
+  pos = std::lower_bound(t.begin(), t.end(), sw.t_min) - t.begin();
+  for (int64_t k = first_k; k <= last_k && pos < n; ++k) {
+    int64_t wend = sw.WindowStart(k + 1);
+    size_t pend =
+        std::lower_bound(t.begin() + pos, t.end(), wend) - t.begin();
+    if (pend > pos) {
+      AggAccum local;
+      ETSQP_RETURN_IF_ERROR(AggValues(page, begin + pos, begin + pend,
+                                      ValueRange{}, func, opt, &local, stats,
+                                      &vctx));
+      (*windows)[k].Merge(local);
+      pos = pend;
+    }
+  }
+  return Status::Ok();
+}
+
+Status AggregateFloatSliceWindows(const storage::Page& page, size_t begin,
+                                  size_t end, const SlidingWindow& sw,
+                                  AggFunc func, const PipelineOptions& opt,
+                                  std::map<int64_t, FloatAggAccum>* windows,
+                                  QueryStats* stats) {
+  end = std::min<size_t>(end, page.header.count);
+  if (begin >= end) return Status::Ok();
+  DecodedColumn times;
+  ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
+      page.time_data.data(), page.time_data.size(),
+      page.header.time_encoding, page.header.count, opt.strategy, opt.n_v,
+      begin, end, &times));
+  size_t n = times.size();
+  if (n == 0) return Status::Ok();
+  std::vector<int64_t> t(n);
+  times.Materialize(t.data());
+  std::vector<double> values(page.header.count);
+  ETSQP_RETURN_IF_ERROR(storage::DecodePageColumnF64(
+      page.value_data, page.header.value_encoding, page.header.count,
+      values.data()));
+  if (stats != nullptr) stats->tuples_scanned += 2 * n;
+  const bool need_sq = func == AggFunc::kVariance;
+  size_t pos = std::lower_bound(t.begin(), t.end(), sw.t_min) - t.begin();
+  while (pos < n) {
+    int64_t k = sw.WindowIndex(t[pos]);
+    int64_t wend = sw.WindowStart(k + 1);
+    size_t pend =
+        std::lower_bound(t.begin() + pos, t.end(), wend) - t.begin();
+    FloatAggAccum& acc = (*windows)[k];
+    for (size_t i = pos; i < pend; ++i) {
+      acc.AddValue(values[begin + i], need_sq);
+    }
+    pos = pend;
+  }
+  return Status::Ok();
+}
+
+Status MaterializeSlice(const storage::Page& page, size_t begin, size_t end,
+                        const TimeRange& trange, const ValueRange& vrange,
+                        const PipelineOptions& opt,
+                        std::vector<int64_t>* times,
+                        std::vector<int64_t>* values, QueryStats* stats) {
+  size_t p0 = 0, p1 = 0;
+  ETSQP_RETURN_IF_ERROR(
+      SlicePositions(page, begin, end, trange, opt, &p0, &p1, stats));
+  if (p0 >= p1) return Status::Ok();
+
+  DecodedColumn tcol, vcol;
+  ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
+      page.time_data.data(), page.time_data.size(),
+      page.header.time_encoding, page.header.count, opt.strategy, opt.n_v,
+      p0, p1, &tcol));
+  ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
+      page.value_data.data(), page.value_data.size(),
+      page.header.value_encoding, page.header.count, opt.strategy, opt.n_v,
+      p0, p1, &vcol));
+  if (stats != nullptr) stats->tuples_scanned += tcol.size() + vcol.size();
+
+  size_t n = p1 - p0;
+  if (!vrange.active) {
+    // Bulk path: vectorized widening into the output tails.
+    size_t t_at = times->size();
+    size_t v_at = values->size();
+    times->resize(t_at + n);
+    values->resize(v_at + n);
+    tcol.Materialize(times->data() + t_at);
+    vcol.Materialize(values->data() + v_at);
+    return Status::Ok();
+  }
+  times->reserve(times->size() + n);
+  values->reserve(values->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t v = vcol.Get(i);
+    if (!vrange.Contains(v)) continue;
+    times->push_back(tcol.Get(i));
+    values->push_back(v);
+  }
+  return Status::Ok();
+}
+
+}  // namespace etsqp::exec

@@ -1,0 +1,123 @@
+#ifndef ETSQP_EXEC_PIPELINE_H_
+#define ETSQP_EXEC_PIPELINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+
+#include "common/status.h"
+#include "exec/column_decoder.h"
+#include "exec/expr.h"
+#include "storage/page.h"
+
+namespace etsqp::exec {
+
+/// Per-query execution switches: the evaluation's system variants map to
+/// these (ETSQP = {kEtsqp, prune off, fusion on}; ETSQP-prune adds prune;
+/// Serial = kSerial; SBoost = kSboost; FastLanes = kFastLanes over
+/// FLMM1024-encoded pages).
+struct PipelineOptions {
+  DecodeStrategy strategy = DecodeStrategy::kEtsqp;
+  bool prune = false;
+  bool fusion = true;
+  int n_v = 0;  // transposed-layout vector count; 0 = Proposition 1 default
+  int threads = 1;
+};
+
+/// Algebraic aggregate accumulator: (sum, sum_sq, count, min, max) covers
+/// SUM/AVG/COUNT/MIN/MAX/VAR. Sums are tracked in 128-bit and checked
+/// against int64 on finalize (Section VI-C overflow behaviour).
+struct AggAccum {
+  __int128 sum = 0;
+  __int128 sum_sq = 0;
+  uint64_t count = 0;
+  int64_t min = std::numeric_limits<int64_t>::max();
+  int64_t max = std::numeric_limits<int64_t>::min();
+
+  void AddValue(int64_t v, bool need_sq) {
+    sum += v;
+    if (need_sq) sum_sq += static_cast<__int128>(v) * v;
+    ++count;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  void Merge(const AggAccum& o) {
+    sum += o.sum;
+    sum_sq += o.sum_sq;
+    count += o.count;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+  /// Final value of `func`; kOverflow when the exact sum exceeds int64.
+  Status Finalize(AggFunc func, double* out) const;
+};
+
+/// Aggregates positions [begin, end) of `page` whose time lies in `trange`
+/// and value in `vrange` — the Q1/Q3 pipeline over one page slice.
+Status AggregateSlice(const storage::Page& page, size_t begin, size_t end,
+                      const TimeRange& trange, const ValueRange& vrange,
+                      AggFunc func, const PipelineOptions& opt,
+                      AggAccum* accum, QueryStats* stats);
+
+/// Sliding-window aggregation over one page slice: results merge into
+/// `windows` keyed by window index k (window = [t_min + k dT, +dT)).
+Status AggregateSliceWindows(const storage::Page& page, size_t begin,
+                             size_t end, const SlidingWindow& sw,
+                             AggFunc func, const PipelineOptions& opt,
+                             std::map<int64_t, AggAccum>* windows,
+                             QueryStats* stats);
+
+/// Float-series accumulator (double sums; Kahan-free: page-sized partials
+/// merged in one pass keep error negligible for the supported scales).
+struct FloatAggAccum {
+  double sum = 0;
+  double sum_sq = 0;
+  uint64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void AddValue(double v, bool need_sq) {
+    sum += v;
+    if (need_sq) sum_sq += v * v;
+    ++count;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  void Merge(const FloatAggAccum& o) {
+    sum += o.sum;
+    sum_sq += o.sum_sq;
+    count += o.count;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+  }
+  Status Finalize(AggFunc func, double* out) const;
+};
+
+/// Aggregation over a float-valued page slice (kGorillaValue / kChimpValue /
+/// kElfValue value columns). The time column pipeline is shared with the
+/// integer path; the value filter compares doubles against the int64 range.
+Status AggregateFloatSlice(const storage::Page& page, size_t begin,
+                           size_t end, const TimeRange& trange,
+                           const ValueRange& vrange, AggFunc func,
+                           const PipelineOptions& opt, FloatAggAccum* accum,
+                           QueryStats* stats);
+
+/// Sliding-window variant for float-valued pages.
+Status AggregateFloatSliceWindows(const storage::Page& page, size_t begin,
+                                  size_t end, const SlidingWindow& sw,
+                                  AggFunc func, const PipelineOptions& opt,
+                                  std::map<int64_t, FloatAggAccum>* windows,
+                                  QueryStats* stats);
+
+/// Decodes the (time, value) tuples of positions [begin, end) that satisfy
+/// the filters — the SELECT * pipeline; also the building block for
+/// union/join/projection.
+Status MaterializeSlice(const storage::Page& page, size_t begin, size_t end,
+                        const TimeRange& trange, const ValueRange& vrange,
+                        const PipelineOptions& opt,
+                        std::vector<int64_t>* times,
+                        std::vector<int64_t>* values, QueryStats* stats);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_PIPELINE_H_

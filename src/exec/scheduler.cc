@@ -1,0 +1,68 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/bit_util.h"
+
+namespace etsqp::exec {
+
+void RunJobs(size_t num_jobs, int threads,
+             const std::function<void(size_t)>& fn) {
+  if (num_jobs == 0) return;
+  size_t workers = std::min<size_t>(std::max(threads, 1), num_jobs);
+  if (workers <= 1) {
+    for (size_t i = 0; i < num_jobs; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  auto worker = [&] {
+    while (true) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_jobs) break;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
+std::vector<PageSlice> PlanSlices(const std::vector<size_t>& page_counts,
+                                  int threads, size_t block_size) {
+  std::vector<PageSlice> slices;
+  size_t num_pages = page_counts.size();
+  if (num_pages == 0) return slices;
+  size_t cores = static_cast<size_t>(std::max(threads, 1));
+  if (num_pages >= cores) {
+    // Enough pages: one job per page; workers drain the queue.
+    for (size_t p = 0; p < num_pages; ++p) {
+      slices.push_back(PageSlice{p, 0, page_counts[p]});
+    }
+    return slices;
+  }
+  // Fewer pages than cores: split each page into at most
+  // ceil(cores / num_pages) block-aligned slices (Section III-C: "each page
+  // will have at most ceil(#Pages / p_c) slices" — per-page fan-out keeps
+  // the total near the core count without over-slicing).
+  size_t per_page = CeilDiv(cores, num_pages);
+  if (block_size == 0) block_size = 1024;
+  for (size_t p = 0; p < num_pages; ++p) {
+    size_t n = page_counts[p];
+    size_t blocks = std::max<size_t>(1, CeilDiv(n, block_size));
+    size_t parts = std::min(per_page, blocks);
+    size_t blocks_per_part = CeilDiv(blocks, parts);
+    for (size_t s = 0; s < parts; ++s) {
+      size_t begin = std::min(n, s * blocks_per_part * block_size);
+      size_t end = std::min(n, (s + 1) * blocks_per_part * block_size);
+      if (begin >= end) break;
+      slices.push_back(PageSlice{p, begin, end});
+    }
+  }
+  return slices;
+}
+
+}  // namespace etsqp::exec

@@ -1,0 +1,40 @@
+#ifndef ETSQP_EXEC_SCHEDULER_H_
+#define ETSQP_EXEC_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace etsqp::exec {
+
+/// Core-level parallelism (paper Section III-C): pipeline jobs run on a
+/// small worker pool; each worker pulls the next job from a shared atomic
+/// cursor, so cores never idle while jobs remain (the scheduling policy the
+/// Figure 11 micro-benchmark credits for ETSQP's thread scaling).
+///
+/// Runs fn(job_index) for every index in [0, num_jobs) using up to `threads`
+/// workers (1 = inline). Blocks until all jobs finish.
+void RunJobs(size_t num_jobs, int threads,
+             const std::function<void(size_t)>& fn);
+
+/// A unit of decoding work: a page, or a slice of one. `begin/end` are value
+/// positions within the page (block-aligned slices: TS2DIFF blocks decode
+/// independently, so slices carry no prefix-sum dependency).
+struct PageSlice {
+  size_t page_index = 0;
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+};
+
+/// Slice planner (Algorithm 2 Lines 5-6): when there are at least as many
+/// pages as cores, each job is a whole page; otherwise pages split into at
+/// most ceil(threads / #pages) block-aligned slices each, so every core gets
+/// work. `page_counts[i]` is the tuple count of page i; `block_size` aligns
+/// slice boundaries to encoder blocks.
+std::vector<PageSlice> PlanSlices(const std::vector<size_t>& page_counts,
+                                  int threads, size_t block_size);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_SCHEDULER_H_

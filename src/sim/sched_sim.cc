@@ -1,0 +1,101 @@
+#include "sim/sched_sim.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace etsqp::sim {
+
+SimResult Simulate(const std::vector<SimJob>& jobs, int cores,
+                   SchedulePolicy policy) {
+  SimResult result;
+  size_t n = jobs.size();
+  if (n == 0 || cores < 1) return result;
+  std::vector<double> finish(n, -1.0);
+  std::vector<double> core_free(static_cast<size_t>(cores), 0.0);
+  std::vector<double> core_busy(static_cast<size_t>(cores), 0.0);
+
+  if (policy == SchedulePolicy::kStaticPartition) {
+    // Each core runs its pre-assigned jobs in order.
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = i % static_cast<size_t>(cores);
+      double ready = jobs[i].depends_on >= 0
+                         ? finish[static_cast<size_t>(jobs[i].depends_on)]
+                         : 0.0;
+      double start = std::max(core_free[c], ready);
+      finish[i] = start + jobs[i].cost;
+      core_free[c] = finish[i];
+      core_busy[c] += jobs[i].cost;
+    }
+  } else {
+    // Shared ready queue: repeatedly give the earliest-free core the first
+    // unstarted job whose dependency has finished by that core's free time;
+    // if none is ready, the core idles until the earliest dependency
+    // completes.
+    std::vector<bool> started(n, false);
+    size_t remaining = n;
+    while (remaining > 0) {
+      size_t c = static_cast<size_t>(
+          std::min_element(core_free.begin(), core_free.end()) -
+          core_free.begin());
+      double now = core_free[c];
+      // First ready job in queue order.
+      size_t pick = n;
+      double next_ready = std::numeric_limits<double>::max();
+      for (size_t i = 0; i < n; ++i) {
+        if (started[i]) continue;
+        double ready = jobs[i].depends_on >= 0
+                           ? finish[static_cast<size_t>(jobs[i].depends_on)]
+                           : 0.0;
+        if (ready < 0) ready = std::numeric_limits<double>::max();
+        if (ready <= now) {
+          pick = i;
+          break;
+        }
+        next_ready = std::min(next_ready, ready);
+      }
+      if (pick == n) {
+        // No job ready: this core idles until one becomes ready.
+        core_free[c] = next_ready;
+        continue;
+      }
+      started[pick] = true;
+      finish[pick] = now + jobs[pick].cost;
+      core_free[c] = finish[pick];
+      core_busy[c] += jobs[pick].cost;
+      --remaining;
+    }
+  }
+  for (size_t c = 0; c < core_free.size(); ++c) {
+    result.makespan = std::max(result.makespan, core_free[c]);
+  }
+  for (size_t c = 0; c < core_free.size(); ++c) {
+    result.total_busy += core_busy[c];
+    result.total_idle += result.makespan - core_busy[c];
+  }
+  return result;
+}
+
+std::vector<SimJob> JobsFromCosts(const std::vector<double>& costs) {
+  std::vector<SimJob> jobs(costs.size());
+  for (size_t i = 0; i < costs.size(); ++i) jobs[i].cost = costs[i];
+  return jobs;
+}
+
+std::vector<SimJob> SlicedJobs(const std::vector<double>& page_costs,
+                               int slices_per_page, double sync_overhead,
+                               bool chain_dependencies) {
+  std::vector<SimJob> jobs;
+  int s = std::max(slices_per_page, 1);
+  for (double cost : page_costs) {
+    int first = static_cast<int>(jobs.size());
+    for (int k = 0; k < s; ++k) {
+      SimJob job;
+      job.cost = cost / s + sync_overhead;
+      job.depends_on = chain_dependencies && k > 0 ? first + k - 1 : -1;
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
+}
+
+}  // namespace etsqp::sim

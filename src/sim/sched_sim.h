@@ -1,0 +1,60 @@
+#ifndef ETSQP_SIM_SCHED_SIM_H_
+#define ETSQP_SIM_SCHED_SIM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace etsqp::sim {
+
+/// Deterministic discrete-event scheduler simulator — the multi-core
+/// substitution substrate (DESIGN.md §5). The evaluation host exposes a
+/// single CPU core, so the thread-scaling behaviour of Figures 8/11/12(a-b)/
+/// 14(c-d) is reproduced by replaying *measured* single-core per-job costs
+/// over p simulated cores under the two scheduling policies the paper
+/// compares.
+
+/// One pipeline job: a page or page slice, with its measured cost and an
+/// optional dependency (SBoost-style sub-block slicing makes slice k of a
+/// page wait for slice k-1's prefix sums — P1S2 waits for P1S1, Figure 8).
+struct SimJob {
+  double cost = 0.0;      // measured single-core execution time
+  int depends_on = -1;    // index of the prerequisite job, or -1
+};
+
+enum class SchedulePolicy {
+  /// ETSQP job scheduler: a shared queue; each free core takes the next
+  /// *ready* job (dependencies satisfied), scanning past blocked ones.
+  kSharedQueue,
+  /// SBoost-style static partition: job i is pre-assigned to core i % p and
+  /// each core runs its list in order, stalling on unmet dependencies.
+  kStaticPartition,
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  double total_busy = 0.0;
+  double total_idle = 0.0;  // sum over cores of (makespan - busy)
+
+  double speedup_vs_serial() const {
+    return makespan > 0 ? total_busy / makespan : 0.0;
+  }
+};
+
+/// Simulates executing `jobs` on `cores` workers under `policy`.
+/// Dependencies must point to earlier job indices.
+SimResult Simulate(const std::vector<SimJob>& jobs, int cores,
+                   SchedulePolicy policy);
+
+/// Convenience: jobs from per-page costs with no dependencies.
+std::vector<SimJob> JobsFromCosts(const std::vector<double>& costs);
+
+/// Jobs modeling each page split into `slices_per_page` dependent slices
+/// (prefix-sum chain within a page), as SBoost's splitting does. Each
+/// slice cost = page cost / slices + `sync_overhead` per slice.
+std::vector<SimJob> SlicedJobs(const std::vector<double>& page_costs,
+                               int slices_per_page, double sync_overhead,
+                               bool chain_dependencies);
+
+}  // namespace etsqp::sim
+
+#endif  // ETSQP_SIM_SCHED_SIM_H_

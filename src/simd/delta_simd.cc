@@ -1,0 +1,67 @@
+#include "simd/delta_simd.h"
+
+#include <immintrin.h>
+
+#include "common/cpu.h"
+#include "simd/unpack.h"
+
+namespace etsqp::simd {
+
+void PrefixSumInt32Scalar(int32_t* values, size_t n) {
+  int32_t running = 0;
+  for (size_t i = 0; i < n; ++i) {
+    running += values[i];
+    values[i] = running;
+  }
+}
+
+void PrefixSumInt32Avx2(int32_t* values, size_t n) {
+  size_t iters = n / 8;
+  __m256i carry = _mm256_setzero_si256();
+  for (size_t k = 0; k < iters; ++k) {
+    __m256i x = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(values + k * 8));
+    // Within-128-bit Hillis-Steele steps.
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+    // Add the low half's total (lane 3) to every high-half lane.
+    __m256i low_total = _mm256_shuffle_epi32(x, 0xFF);  // lane3 within halves
+    low_total = _mm256_permute2x128_si256(low_total, low_total, 0x08);
+    // low_total now: low half zero, high half = low half lane3 broadcast.
+    x = _mm256_add_epi32(x, low_total);
+    x = _mm256_add_epi32(x, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(values + k * 8), x);
+    // New carry: lane 7 broadcast.
+    carry = _mm256_permutevar8x32_epi32(x, _mm256_set1_epi32(7));
+  }
+  size_t done = iters * 8;
+  if (done < n) {
+    int32_t running = done > 0 ? values[done - 1] : 0;
+    for (size_t i = done; i < n; ++i) {
+      running += values[i];
+      values[i] = running;
+    }
+  }
+}
+
+void PrefixSumInt32(int32_t* values, size_t n) {
+  if (UseAvx2()) {
+    PrefixSumInt32Avx2(values, n);
+  } else {
+    PrefixSumInt32Scalar(values, n);
+  }
+}
+
+void SboostDeltaDecode(const uint8_t* data, size_t data_size, size_t n,
+                       int width, int32_t min_delta, int32_t init,
+                       int32_t* out) {
+  if (n == 0) return;
+  UnpackBE32(data, data_size, n, width, reinterpret_cast<uint32_t*>(out));
+  if (min_delta != 0) {
+    for (size_t i = 0; i < n; ++i) out[i] += min_delta;
+  }
+  out[0] += init;
+  PrefixSumInt32(out, n);
+}
+
+}  // namespace etsqp::simd

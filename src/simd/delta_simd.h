@@ -1,0 +1,31 @@
+#ifndef ETSQP_SIMD_DELTA_SIMD_H_
+#define ETSQP_SIMD_DELTA_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace etsqp::simd {
+
+/// SBoost-style Delta recovery (baseline (5) of the evaluation): values are
+/// unpacked in natural order and recovered with an in-register Hillis-Steele
+/// prefix sum per 8-value vector plus a serial carry between vectors. Unlike
+/// Algorithm 1 there is no layout co-design, so every vector pays the
+/// cross-lane prefix fix-ups and the carry dependency chain.
+
+/// In-place inclusive prefix sum over `n` int32 values (AVX2 when available).
+void PrefixSumInt32(int32_t* values, size_t n);
+
+/// Forced-path variants.
+void PrefixSumInt32Scalar(int32_t* values, size_t n);
+void PrefixSumInt32Avx2(int32_t* values, size_t n);
+
+/// SBoost decode pipeline: natural-order unpack (Figure 3) then prefix sum.
+/// Produces the same inclusive running sums (starting from `init`) as
+/// DeltaDecodeOffsets.
+void SboostDeltaDecode(const uint8_t* data, size_t data_size, size_t n,
+                       int width, int32_t min_delta, int32_t init,
+                       int32_t* out);
+
+}  // namespace etsqp::simd
+
+#endif  // ETSQP_SIMD_DELTA_SIMD_H_

@@ -1,0 +1,72 @@
+#include "simd/fib_simd.h"
+
+#include <bit>
+
+namespace etsqp::simd {
+
+namespace {
+
+/// Loads 8 bytes starting at `byte_start` as a big-endian word, so stream
+/// bit (byte_start*8 + r) is word bit (63 - r). Missing bytes read as 0.
+inline uint64_t LoadStreamWord(const uint8_t* data, size_t size_bytes,
+                               size_t byte_start) {
+  uint64_t w = 0;
+  for (size_t k = 0; k < 8; ++k) {
+    uint8_t b = byte_start + k < size_bytes ? data[byte_start + k] : 0;
+    w = (w << 8) | b;
+  }
+  return w;
+}
+
+/// Emits the stream positions of the SECOND bit of every adjacent-1 pair
+/// inside the word window. t = w & (w >> 1): bit (62 - r) of t is set iff
+/// stream bits r and r+1 (relative to the window) are both 1; the second
+/// bit's relative position equals countl_zero of that t bit's mask.
+template <typename Fn>
+inline void ForEachPairInWord(uint64_t w, size_t window_start_bit, Fn&& fn) {
+  uint64_t t = w & (w >> 1);
+  while (t != 0) {
+    int b = std::countl_zero(t);  // second bit at relative position b
+    t &= ~(1ull << (63 - b));
+    fn(window_start_bit + static_cast<size_t>(b));
+  }
+}
+
+}  // namespace
+
+size_t FindFirstTerminator(const uint8_t* data, size_t size_bytes,
+                           size_t from_bit, size_t end_bit) {
+  size_t byte = from_bit / 8;
+  while (byte * 8 < end_bit) {
+    size_t best = SIZE_MAX;
+    ForEachPairInWord(LoadStreamWord(data, size_bytes, byte), byte * 8,
+                      [&](size_t second) {
+                        if (second >= from_bit + 1 && second < end_bit &&
+                            second < best) {
+                          best = second;
+                        }
+                      });
+    if (best != SIZE_MAX) return best;
+    byte += 7;  // one-byte overlap covers pairs straddling the window end
+  }
+  return SIZE_MAX;
+}
+
+std::vector<size_t> FindTerminators(const uint8_t* data, size_t size_bytes,
+                                    size_t from_bit, size_t end_bit) {
+  std::vector<size_t> out;
+  size_t byte = from_bit / 8;
+  while (byte * 8 < end_bit) {
+    ForEachPairInWord(LoadStreamWord(data, size_bytes, byte), byte * 8,
+                      [&](size_t second) {
+                        if (second >= from_bit + 1 && second < end_bit &&
+                            (out.empty() || second > out.back())) {
+                          out.push_back(second);
+                        }
+                      });
+    byte += 7;
+  }
+  return out;
+}
+
+}  // namespace etsqp::simd

@@ -1,0 +1,33 @@
+#ifndef ETSQP_SIMD_FIB_SIMD_H_
+#define ETSQP_SIMD_FIB_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace etsqp::simd {
+
+/// Variable-width (Fibonacci) stream support (paper Figure 7 and Section
+/// III-C). Every Fibonacci codeword ends in "11"; computing (V >> 1) & V
+/// over the bit stream exposes the terminator positions, which lets a page
+/// slice resynchronize: a thread assigned an arbitrary bit range starts
+/// decoding after the first terminator inside its range ("unpack one more
+/// value from the end and drop the bits of an incomplete value in the
+/// front").
+
+/// Returns the bit position (0-based, Big-Endian bit order: bit 0 is the MSB
+/// of byte 0) of the first "11" terminator at or after `from_bit`, or
+/// SIZE_MAX when none exists before `end_bit`. The second 1 of the pair is
+/// the reported position.
+size_t FindFirstTerminator(const uint8_t* data, size_t size_bytes,
+                           size_t from_bit, size_t end_bit);
+
+/// Collects all terminator end positions in [from_bit, end_bit) using the
+/// word-at-a-time (V >> 1) & V kernel. Used by tests and by the slice
+/// planner to estimate element counts.
+std::vector<size_t> FindTerminators(const uint8_t* data, size_t size_bytes,
+                                    size_t from_bit, size_t end_bit);
+
+}  // namespace etsqp::simd
+
+#endif  // ETSQP_SIMD_FIB_SIMD_H_

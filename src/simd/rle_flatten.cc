@@ -1,0 +1,65 @@
+#include "simd/rle_flatten.h"
+
+#include <immintrin.h>
+
+#include "common/cpu.h"
+
+namespace etsqp::simd {
+
+size_t FlattenDeltaRunsScalar(const int32_t* deltas, const uint32_t* runs,
+                              size_t num_pairs, int32_t first, int32_t* out) {
+  size_t pos = 0;
+  int32_t value = first;
+  for (size_t p = 0; p < num_pairs; ++p) {
+    int32_t d = deltas[p];
+    for (uint32_t k = 0; k < runs[p]; ++k) {
+      value += d;
+      out[pos++] = value;
+    }
+  }
+  return pos;
+}
+
+size_t FlattenDeltaRunsAvx2(const int32_t* deltas, const uint32_t* runs,
+                            size_t num_pairs, int32_t first, int32_t* out) {
+  const __m256i ramp = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 8);
+  size_t pos = 0;
+  int32_t value = first;
+  for (size_t p = 0; p < num_pairs; ++p) {
+    int32_t d = deltas[p];
+    uint32_t r = runs[p];
+    if (r >= 8) {
+      // value + d*[1..8], then step by 8*d per vector.
+      __m256i vd = _mm256_set1_epi32(d);
+      __m256i v = _mm256_add_epi32(_mm256_set1_epi32(value),
+                                   _mm256_mullo_epi32(vd, ramp));
+      __m256i step = _mm256_slli_epi32(vd, 3);  // 8*d
+      uint32_t full = r / 8;
+      for (uint32_t k = 0; k < full; ++k) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + pos), v);
+        v = _mm256_add_epi32(v, step);
+        pos += 8;
+      }
+      value += static_cast<int32_t>(full * 8) * d;
+      r -= full * 8;
+    }
+    for (uint32_t k = 0; k < r; ++k) {
+      value += d;
+      out[pos++] = value;
+    }
+    if (r == 0) {
+      // value already advanced by the vector loop.
+    }
+  }
+  return pos;
+}
+
+size_t FlattenDeltaRuns(const int32_t* deltas, const uint32_t* runs,
+                        size_t num_pairs, int32_t first, int32_t* out) {
+  if (UseAvx2()) {
+    return FlattenDeltaRunsAvx2(deltas, runs, num_pairs, first, out);
+  }
+  return FlattenDeltaRunsScalar(deltas, runs, num_pairs, first, out);
+}
+
+}  // namespace etsqp::simd

@@ -1,0 +1,28 @@
+#ifndef ETSQP_SIMD_RLE_FLATTEN_H_
+#define ETSQP_SIMD_RLE_FLATTEN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace etsqp::simd {
+
+/// Repeat-flatten kernels (the `flatten` decoder of paper Figure 2): expand
+/// <delta, run> pairs into value sequences. A run of length r starting after
+/// value `a` is the arithmetic ramp a+d, a+2d, ..., a+rd, filled with SIMD
+/// ramp vectors instead of a scalar loop.
+
+/// Expands `num_pairs` (delta[i], run[i]) pairs into values, starting from
+/// `first` (exclusive). Writes sum(run[i]) values; returns that count.
+/// 32-bit domain: values are offsets from the block base.
+size_t FlattenDeltaRuns(const int32_t* deltas, const uint32_t* runs,
+                        size_t num_pairs, int32_t first, int32_t* out);
+
+/// Forced-path variants.
+size_t FlattenDeltaRunsScalar(const int32_t* deltas, const uint32_t* runs,
+                              size_t num_pairs, int32_t first, int32_t* out);
+size_t FlattenDeltaRunsAvx2(const int32_t* deltas, const uint32_t* runs,
+                            size_t num_pairs, int32_t first, int32_t* out);
+
+}  // namespace etsqp::simd
+
+#endif  // ETSQP_SIMD_RLE_FLATTEN_H_

@@ -1,0 +1,61 @@
+#ifndef ETSQP_SIMD_TRANSPOSED_UNPACK_H_
+#define ETSQP_SIMD_TRANSPOSED_UNPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace etsqp::simd {
+
+/// Algorithm 1 of the paper: dynamic-layout unpacking plus Delta recovery.
+/// A chunk of n_v * 8 packed residuals is unpacked straight into n_v SIMD
+/// vectors in the transposed layout of Figures 4-6 (consecutive deltas share
+/// a lane across vectors), then recovered with n_v - 1 partial-sum additions,
+/// one permute-based prefix-sum (3 permutevar8x32 + add steps), and one
+/// broadcast add — instead of a serial carry per value.
+///
+/// Inputs are residuals r_c; the actual delta is min_delta + r_c. The kernel
+/// produces, for every value index c (0-based within the decoded range), the
+/// inclusive running sum S_c = sum_{k<=c} (min_delta + r_k) as a 32-bit
+/// offset. The caller materializes values as first_value + S_c, or keeps the
+/// (base, offsets) form for filtering/aggregation in registers.
+///
+/// Requirements: width <= 25 (4-byte windows — wider widths take the scalar
+/// path), the true running sums must fit int32 (the engine checks block
+/// statistics before choosing this path), and `data` must have 32 bytes of
+/// readable slack past the packed region.
+
+/// Decodes `n` residuals into natural-order inclusive running sums starting
+/// from `init` (out[i] = init + S_i). Dispatches AVX2/scalar at runtime.
+/// `n_v` in [1,16] selects the layout width (Proposition 1); pass 0 to use
+/// the cost-model default.
+void DeltaDecodeOffsets(const uint8_t* data, size_t data_size, size_t n,
+                        int width, int32_t min_delta, int n_v, int32_t init,
+                        int32_t* out);
+
+/// Order-insensitive variant: the decoded running sums are stored in the
+/// transposed chunk order (vectors written straight from registers, no
+/// scatter pass). The multiset of outputs equals the ordered variant's —
+/// this is the form the pipeline's vectorized operators consume when they
+/// share the SIMD layout (filters by value, SUM/MIN/MAX/COUNT), mirroring
+/// the paper's register sharing between decoders and query operators.
+void DeltaDecodeOffsetsUnordered(const uint8_t* data, size_t data_size,
+                                 size_t n, int width, int32_t min_delta,
+                                 int n_v, int32_t init, int32_t* out);
+
+/// Forced-path variants for tests/benches.
+void DeltaDecodeOffsetsScalar(const uint8_t* data, size_t data_size, size_t n,
+                              int width, int32_t min_delta, int32_t init,
+                              int32_t* out);
+void DeltaDecodeOffsetsAvx2(const uint8_t* data, size_t data_size, size_t n,
+                            int width, int32_t min_delta, int n_v,
+                            int32_t init, int32_t* out);
+void DeltaDecodeOffsetsAvx2Unordered(const uint8_t* data, size_t data_size,
+                                     size_t n, int width, int32_t min_delta,
+                                     int n_v, int32_t init, int32_t* out);
+
+/// Default n_v from Proposition 1 (see exec/cost_model for the derivation).
+int DefaultNumVectors(int width);
+
+}  // namespace etsqp::simd
+
+#endif  // ETSQP_SIMD_TRANSPOSED_UNPACK_H_

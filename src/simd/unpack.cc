@@ -1,0 +1,107 @@
+#include "simd/unpack.h"
+
+#include <immintrin.h>
+
+#include "common/cpu.h"
+#include "encoding/bitpack.h"
+#include "simd/transposed_unpack_avx512.h"
+#include "simd/unpack_plan.h"
+
+namespace etsqp::simd {
+
+void UnpackBE32Scalar(const uint8_t* data, size_t data_size, size_t n,
+                      int width, uint32_t* out) {
+  enc::UnpackBE32(data, data_size, 0, n, width, out);
+}
+
+namespace {
+
+/// One fast-path iteration: 8 values from `width` bytes at `src`.
+inline __m256i UnpackIterFast(const uint8_t* src, const UnpackPlan& plan) {
+  __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+  __m128i hi = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(src + plan.hi_offset));
+  __m256i v = _mm256_set_m128i(hi, lo);
+  __m256i shuf = _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(plan.shuffle));
+  __m256i shift = _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(plan.shift));
+  v = _mm256_shuffle_epi8(v, shuf);
+  v = _mm256_srlv_epi32(v, shift);
+  return _mm256_and_si256(v, _mm256_set1_epi32(plan.mask));
+}
+
+/// One wide-path iteration (width 26..32): two 4-value 64-bit-lane steps.
+inline __m256i UnpackIterWide(const uint8_t* src, const UnpackPlan& plan) {
+  __m256i halves[2];
+  for (int s = 0; s < 2; ++s) {
+    const UnpackPlan::WideStep& step = plan.steps[s];
+    __m128i lo = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(src + step.lo_offset));
+    __m128i hi = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(src + step.hi_offset));
+    __m256i v = _mm256_set_m128i(hi, lo);
+    __m256i shuf = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(step.shuffle));
+    __m256i shift = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(step.shift));
+    v = _mm256_shuffle_epi8(v, shuf);
+    v = _mm256_srlv_epi64(v, shift);
+    v = _mm256_and_si256(v, _mm256_set1_epi64x(
+                                static_cast<long long>(plan.mask64)));
+    halves[s] = v;
+  }
+  // Compact 2 x (4 x 64-bit) -> 8 x 32-bit. Low 32 bits of each 64-bit lane
+  // hold the value (width <= 32).
+  const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  __m256i a = _mm256_permutevar8x32_epi32(halves[0], pick);  // values in low half
+  __m256i b = _mm256_permutevar8x32_epi32(halves[1], pick);
+  return _mm256_permute2x128_si256(a, b, 0x20);
+}
+
+}  // namespace
+
+void UnpackBE32Avx2(const uint8_t* data, size_t data_size, size_t n,
+                    int width, uint32_t* out) {
+  if (width == 0) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const UnpackPlan& plan = GetUnpackPlan(width);
+  size_t iters = n / 8;
+  const uint8_t* src = data;
+  if (plan.wide) {
+    for (size_t k = 0; k < iters; ++k) {
+      __m256i v = UnpackIterWide(src, plan);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k * 8), v);
+      src += plan.bytes_per_iter;
+    }
+  } else {
+    for (size_t k = 0; k < iters; ++k) {
+      __m256i v = UnpackIterFast(src, plan);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k * 8), v);
+      src += plan.bytes_per_iter;
+    }
+  }
+  size_t done = iters * 8;
+  if (done < n) {
+    enc::UnpackBE32(data, data_size, done * static_cast<size_t>(width),
+                    n - done, width, out + done);
+  }
+}
+
+void UnpackBE32(const uint8_t* data, size_t data_size, size_t n, int width,
+                uint32_t* out) {
+  // The AVX2 path wins over the vpermb-based 512-bit unpack on this
+  // microarchitecture (two cheap in-lane shuffles beat one cross-lane
+  // permute per 8/16 values — see bench_kernels BM_UnpackAvx2 vs
+  // BM_UnpackAvx512), so natural-order unpacking stays on AVX2. The
+  // transposed Delta decode is where 512-bit registers pay off.
+  if (UseAvx2()) {
+    UnpackBE32Avx2(data, data_size, n, width, out);
+  } else {
+    UnpackBE32Scalar(data, data_size, n, width, out);
+  }
+}
+
+}  // namespace etsqp::simd

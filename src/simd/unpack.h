@@ -1,0 +1,29 @@
+#ifndef ETSQP_SIMD_UNPACK_H_
+#define ETSQP_SIMD_UNPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace etsqp::simd {
+
+/// Vectorized constant-width unpacking (paper Figure 3): shuffle bytes across
+/// lanes, variable-shift, mask. Decodes `n` Big-Endian `width`-bit values
+/// starting at byte 0 of `data` into natural-order 32-bit outputs.
+///
+/// `data` must expose at least 32 readable bytes past the packed region
+/// (AlignedBuffer guarantees this slack); the scalar tail never over-reads
+/// `data_size`.
+///
+/// Dispatches to AVX2 when available (see common/cpu.h), otherwise scalar.
+void UnpackBE32(const uint8_t* data, size_t data_size, size_t n, int width,
+                uint32_t* out);
+
+/// Forced-path variants, exposed for tests and the ablation benches.
+void UnpackBE32Scalar(const uint8_t* data, size_t data_size, size_t n,
+                      int width, uint32_t* out);
+void UnpackBE32Avx2(const uint8_t* data, size_t data_size, size_t n,
+                    int width, uint32_t* out);
+
+}  // namespace etsqp::simd
+
+#endif  // ETSQP_SIMD_UNPACK_H_

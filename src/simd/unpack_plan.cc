@@ -1,0 +1,175 @@
+#include "simd/unpack_plan.h"
+
+#include <cassert>
+#include <mutex>
+
+#include "common/bit_util.h"
+
+namespace etsqp::simd {
+
+namespace {
+
+void BuildFastPlan(int width, UnpackPlan* plan) {
+  plan->width = width;
+  plan->bytes_per_iter = width;  // 8 values * width bits == width bytes
+  plan->wide = false;
+  plan->hi_offset = 4 * width / 8;
+  plan->mask = MaskLow32(width);
+  for (uint8_t& b : plan->shuffle) b = 0x80;
+  for (int j = 0; j < 8; ++j) {
+    int load_base = j < 4 ? 0 : plan->hi_offset;
+    int bit = j * width - 8 * load_base;  // bit offset within the 16B load
+    int end_byte = (bit + width - 1) / 8;
+    int w = end_byte >= 3 ? end_byte - 3 : 0;  // 4-byte window [w, w+3]
+    assert(w + 3 <= 15);
+    int half = j / 4;
+    int pos = j % 4;
+    for (int i = 0; i < 4; ++i) {
+      // LE lane byte i (LSB first) <- BE window byte w+3-i.
+      plan->shuffle[16 * half + 4 * pos + i] =
+          static_cast<uint8_t>(w + 3 - i);
+    }
+    plan->shift[j] = static_cast<uint32_t>(32 - (bit - 8 * w) - width);
+  }
+}
+
+void BuildWidePlan(int width, UnpackPlan* plan) {
+  plan->width = width;
+  plan->bytes_per_iter = width;
+  plan->wide = true;
+  plan->mask64 = MaskLow64(width);
+  for (int s = 0; s < 2; ++s) {
+    UnpackPlan::WideStep& step = plan->steps[s];
+    for (uint8_t& b : step.shuffle) b = 0x80;
+    int start_bit = 4 * s * width;
+    step.lo_offset = start_bit / 8;
+    int phase = start_bit - 8 * step.lo_offset;
+    // Upper half reads values 4s+2, 4s+3.
+    step.hi_offset = step.lo_offset + (phase + 2 * width) / 8;
+    for (int k = 0; k < 4; ++k) {  // 64-bit lane k handles value 4s+k
+      int load_base = k < 2 ? step.lo_offset : step.hi_offset;
+      // Bit position of value (4s+k) within the 16-byte load at load_base.
+      int bit = (4 * s + k) * width - 8 * load_base;
+      int w = bit / 8;  // 8-byte window [w, w+7]
+      assert(w + 7 <= 15);
+      int half = k / 2;
+      int pos = k % 2;
+      for (int i = 0; i < 8; ++i) {
+        step.shuffle[16 * half + 8 * pos + i] =
+            static_cast<uint8_t>(w + 7 - i);
+      }
+      step.shift[k] = static_cast<uint64_t>(64 - (bit - 8 * w) - width);
+    }
+  }
+}
+
+}  // namespace
+
+const UnpackPlan& GetUnpackPlan(int width) {
+  assert(width >= 1 && width <= 32);
+  static UnpackPlan* plans = [] {
+    auto* p = new UnpackPlan[33];
+    for (int w = 1; w <= 25; ++w) BuildFastPlan(w, &p[w]);
+    for (int w = 26; w <= 32; ++w) BuildWidePlan(w, &p[w]);
+    return p;
+  }();
+  return plans[width];
+}
+
+namespace {
+
+TransposedPlan BuildTransposedPlan(int width, int n_v) {
+  TransposedPlan plan;
+  plan.width = width;
+  plan.n_v = n_v;
+  plan.values_per_chunk = n_v * 8;
+  plan.bytes_per_chunk = n_v * width;
+  plan.mask = MaskLow32(width);
+  plan.shifts.assign(n_v, {});
+
+  // Per-half segmentation: half h holds chunk values [4 n_v h, 4 n_v (h+1)),
+  // starting at bit 4 * n_v * width * h. Each 16-byte load covers the values
+  // whose 4-byte windows fit inside it; the straddling byte is re-read by
+  // the next load (paper Section III-A).
+  struct ValueSlot {
+    int segment;    // paired-segment index
+    int local_bit;  // bit offset within that half's 16-byte load
+  };
+  std::vector<ValueSlot> slots(plan.values_per_chunk);
+  size_t num_segments = 0;
+  std::vector<std::vector<int>> half_offsets(2);
+  for (int h = 0; h < 2; ++h) {
+    size_t pos_bits = static_cast<size_t>(4) * n_v * width * h;
+    int c = 4 * n_v * h;
+    const int c_end = 4 * n_v * (h + 1);
+    while (c < c_end) {
+      int byte_off = static_cast<int>(pos_bits / 8);
+      int phase = static_cast<int>(pos_bits - 8 * static_cast<size_t>(byte_off));
+      int fit = (128 - phase) / width;
+      assert(fit > 0);
+      int seg_index = static_cast<int>(half_offsets[h].size());
+      half_offsets[h].push_back(byte_off);
+      for (int t = 0; t < fit && c < c_end; ++t, ++c) {
+        slots[c] = ValueSlot{seg_index, phase + t * width};
+        pos_bits += width;
+      }
+    }
+    num_segments = std::max(num_segments, half_offsets[h].size());
+  }
+
+  plan.segments.resize(num_segments);
+  for (size_t s = 0; s < num_segments; ++s) {
+    // Pad missing half segments with a repeat of offset 0; their shuffle
+    // bytes stay 0x80, so the loaded bytes are ignored.
+    plan.segments[s].lo_offset =
+        s < half_offsets[0].size() ? half_offsets[0][s] : 0;
+    plan.segments[s].hi_offset =
+        s < half_offsets[1].size() ? half_offsets[1][s] : 0;
+  }
+
+  plan.shuffles.assign(num_segments * n_v, {});
+  for (auto& shuf : plan.shuffles) shuf.fill(0x80);
+
+  for (int c = 0; c < plan.values_per_chunk; ++c) {
+    int j = c % n_v;
+    int lane = c / n_v;  // identity mapping
+    const ValueSlot& slot = slots[c];
+    int end_byte = (slot.local_bit + width - 1) / 8;
+    int w = end_byte >= 3 ? end_byte - 3 : 0;
+    assert(w + 3 <= 15);
+    std::array<uint8_t, 32>& shuf = plan.shuffles[slot.segment * n_v + j];
+    int half = lane / 4;
+    int pos = lane % 4;
+    for (int i = 0; i < 4; ++i) {
+      shuf[16 * half + 4 * pos + i] = static_cast<uint8_t>(w + 3 - i);
+    }
+    plan.shifts[j][lane] =
+        static_cast<uint32_t>(32 - (slot.local_bit - 8 * w) - width);
+  }
+
+  plan.skip.assign(num_segments * n_v, 1);
+  for (size_t i = 0; i < plan.shuffles.size(); ++i) {
+    for (uint8_t b : plan.shuffles[i]) {
+      if (b != 0x80) {
+        plan.skip[i] = 0;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+const TransposedPlan& GetTransposedPlan(int width, int n_v) {
+  assert(width >= 1 && width <= 25);
+  assert(n_v >= 1 && n_v <= 16);
+  static std::mutex mu;
+  static TransposedPlan* cache[26][17] = {};
+  std::lock_guard<std::mutex> lock(mu);
+  TransposedPlan*& slot = cache[width][n_v];
+  if (slot == nullptr) slot = new TransposedPlan(BuildTransposedPlan(width, n_v));
+  return *slot;
+}
+
+}  // namespace etsqp::simd

@@ -1,0 +1,54 @@
+#ifndef ETSQP_SQL_LEXER_H_
+#define ETSQP_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace etsqp::sql {
+
+/// Token kinds for the benchmark SQL dialect (paper Table III).
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kStar,      // *
+  kPlus,      // +
+  kMinus,     // -
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  // Keywords.
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kSw,      // sliding window clause SW(tmin, dt)
+  kUnion,
+  kOrder,
+  kBy,
+  kTime,    // the time column keyword
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier text (lowercased for keywords)
+  int64_t number = 0;
+  size_t offset = 0;  // byte offset in the query, for error messages
+};
+
+/// Tokenizes `query`. Keywords are case-insensitive; identifiers keep case.
+Result<std::vector<Token>> Lex(const std::string& query);
+
+}  // namespace etsqp::sql
+
+#endif  // ETSQP_SQL_LEXER_H_

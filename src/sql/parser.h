@@ -1,0 +1,63 @@
+#ifndef ETSQP_SQL_PARSER_H_
+#define ETSQP_SQL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/lexer.h"
+
+namespace etsqp::sql {
+
+/// AST for the benchmark dialect (paper Table III):
+///   Q1/Q2 SELECT SUM|AVG(v) FROM ts [WHERE ...] SW(tmin, dt);
+///   Q3    SELECT SUM(v) FROM ts WHERE v > a;
+///   Q4    SELECT ts1.v + ts2.v FROM ts1, ts2;
+///   Q5    SELECT * FROM ts1 UNION ts2 ORDER BY TIME;
+///   Q6    SELECT * FROM ts1, ts2;
+/// plus COUNT/MIN/MAX/VAR aggregates and conjunctive time/value range
+/// predicates.
+
+struct Comparison {
+  enum class Column { kTime, kValue } column = Column::kValue;
+  enum class Op { kLt, kLe, kGt, kGe, kEq } op = Op::kEq;
+  int64_t literal = 0;
+  /// Inter-column form `lhs_table.col <op> rhs_table.col` (Eq. 3); both
+  /// table names set, `literal` unused.
+  std::string lhs_table;
+  std::string rhs_table;
+  bool inter_column() const { return !rhs_table.empty(); }
+};
+
+struct SelectItem {
+  enum class Kind {
+    kStar,       // *
+    kAggregate,  // f(col)
+    kBinary,     // t1.col <op> t2.col
+    kColumn,     // col
+  } kind = Kind::kStar;
+  std::string func;        // aggregate name (lowercase)
+  std::string column;      // aggregated/projected column
+  std::string left_table;  // kBinary qualifiers
+  std::string right_table;
+  char binary_op = '+';
+};
+
+struct SelectStatement {
+  SelectItem item;
+  std::vector<std::string> tables;  // FROM list (1 or 2)
+  std::vector<Comparison> predicates;
+  bool has_window = false;
+  int64_t window_t_min = 0;
+  int64_t window_delta_t = 1;
+  bool is_union = false;            // ts1 UNION ts2 ORDER BY TIME
+  std::string union_right;
+};
+
+/// Parses one statement (trailing semicolon optional).
+Result<SelectStatement> Parse(const std::string& query);
+
+}  // namespace etsqp::sql
+
+#endif  // ETSQP_SQL_PARSER_H_

@@ -1,0 +1,23 @@
+#ifndef ETSQP_SQL_PLANNER_H_
+#define ETSQP_SQL_PLANNER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exec/expr.h"
+#include "sql/parser.h"
+
+namespace etsqp::sql {
+
+/// Binds a parsed statement to a logical plan: resolves aggregate names,
+/// folds the conjunctive predicates into time/value ranges (single-column
+/// filters are what the pipelines push down, Algorithm 2 Eq. 1), and picks
+/// the plan kind from the select item / FROM shape.
+Result<exec::LogicalPlan> PlanStatement(const SelectStatement& stmt);
+
+/// Parse + plan in one step.
+Result<exec::LogicalPlan> PlanQuery(const std::string& query);
+
+}  // namespace etsqp::sql
+
+#endif  // ETSQP_SQL_PLANNER_H_

@@ -1,0 +1,57 @@
+#ifndef ETSQP_STORAGE_PAGE_H_
+#define ETSQP_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "encoding/format.h"
+
+namespace etsqp::storage {
+
+/// Page header (paper Sections III-C and V-A): each page is a separately
+/// encoded bit array with a private header carrying the first element, the
+/// packing parameters, per-column sizes, and min/max statistics. The header
+/// is what the pruning rules (Propositions 4-5) consult without touching the
+/// encoded payload.
+struct PageHeader {
+  uint32_t count = 0;
+  enc::ColumnEncoding time_encoding = enc::ColumnEncoding::kTs2Diff;
+  enc::ColumnEncoding value_encoding = enc::ColumnEncoding::kTs2Diff;
+  int64_t min_time = 0;
+  int64_t max_time = 0;
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  uint32_t time_bytes = 0;
+  uint32_t value_bytes = 0;
+};
+
+/// One storage page: header plus the two encoded columns. Column buffers are
+/// slack-padded (AlignedBuffer) so SIMD decoders can over-read safely.
+struct Page {
+  PageHeader header;
+  AlignedBuffer time_data;
+  AlignedBuffer value_data;
+
+  Page() = default;
+  Page(Page&&) = default;
+  Page& operator=(Page&&) = default;
+
+  /// Total encoded payload bytes (the "I/O" a query pays to load this page).
+  size_t encoded_bytes() const {
+    return header.time_bytes + header.value_bytes;
+  }
+};
+
+/// Serializes `page` into `out` (header fields Big-Endian + both columns).
+void SerializePage(const Page& page, std::vector<uint8_t>* out);
+
+/// Parses one page starting at data[pos]; advances *pos past it.
+Status DeserializePage(const uint8_t* data, size_t size, size_t* pos,
+                       Page* page);
+
+}  // namespace etsqp::storage
+
+#endif  // ETSQP_STORAGE_PAGE_H_

@@ -1,0 +1,40 @@
+#ifndef ETSQP_STORAGE_PAGE_BUILDER_H_
+#define ETSQP_STORAGE_PAGE_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace etsqp::storage {
+
+/// Encoding configuration for building pages.
+struct PageOptions {
+  enc::ColumnEncoding time_encoding = enc::ColumnEncoding::kTs2Diff;
+  enc::ColumnEncoding value_encoding = enc::ColumnEncoding::kTs2Diff;
+  uint32_t block_size = 1024;  // TS2DIFF block size within the page
+};
+
+/// Encodes one page from parallel (times, values) arrays of length n (>= 1).
+/// Times must be strictly increasing (Definition 1).
+Result<Page> BuildPage(const int64_t* times, const int64_t* values, size_t n,
+                       const PageOptions& options);
+
+/// Float-series variant: values are doubles compressed with one of the XOR/
+/// pattern encoders (kGorillaValue / kChimpValue / kElfValue). The page
+/// header's min/max value fields hold the doubles bit-cast for diagnostics.
+Result<Page> BuildPageF64(const int64_t* times, const double* values,
+                          size_t n, const PageOptions& options);
+
+/// Reference full decode of a float value column.
+Status DecodePageColumnF64(const AlignedBuffer& data, enc::ColumnEncoding enc,
+                           uint32_t count, double* out);
+
+/// Reference full decode of a page's columns (any supported encoding).
+Status DecodePageColumn(const AlignedBuffer& data, enc::ColumnEncoding enc,
+                        uint32_t count, int64_t* out);
+
+}  // namespace etsqp::storage
+
+#endif  // ETSQP_STORAGE_PAGE_BUILDER_H_

@@ -1,0 +1,133 @@
+#include "storage/series_store.h"
+
+namespace etsqp::storage {
+
+Status SeriesStore::CreateSeries(const std::string& name,
+                                 const SeriesOptions& options) {
+  if (series_.count(name) != 0) {
+    return Status::InvalidArgument("series exists: " + name);
+  }
+  Series s;
+  s.name = name;
+  s.options = options;
+  series_.emplace(name, std::move(s));
+  return Status::Ok();
+}
+
+Status SeriesStore::Append(const std::string& name, int64_t time,
+                           int64_t value) {
+  auto it = series_.find(name);
+  if (it == series_.end()) return Status::NotFound("series: " + name);
+  Series& s = it->second;
+  if (s.is_float()) return Status::InvalidArgument("float series: " + name);
+  s.buf_times.push_back(time);
+  s.buf_values.push_back(value);
+  if (s.buf_times.size() >= s.options.page_size) {
+    return FlushSeries(&s);
+  }
+  return Status::Ok();
+}
+
+Status SeriesStore::AppendF64(const std::string& name, int64_t time,
+                              double value) {
+  auto it = series_.find(name);
+  if (it == series_.end()) return Status::NotFound("series: " + name);
+  Series& s = it->second;
+  if (!s.is_float()) return Status::InvalidArgument("int series: " + name);
+  s.buf_times.push_back(time);
+  s.buf_values_f64.push_back(value);
+  if (s.buf_times.size() >= s.options.page_size) {
+    return FlushSeries(&s);
+  }
+  return Status::Ok();
+}
+
+Status SeriesStore::AppendBatchF64(const std::string& name,
+                                   const int64_t* times, const double* values,
+                                   size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    ETSQP_RETURN_IF_ERROR(AppendF64(name, times[i], values[i]));
+  }
+  return Status::Ok();
+}
+
+Status SeriesStore::AppendBatch(const std::string& name, const int64_t* times,
+                                const int64_t* values, size_t n) {
+  auto it = series_.find(name);
+  if (it == series_.end()) return Status::NotFound("series: " + name);
+  Series& s = it->second;
+  if (s.is_float()) return Status::InvalidArgument("float series: " + name);
+  for (size_t i = 0; i < n; ++i) {
+    s.buf_times.push_back(times[i]);
+    s.buf_values.push_back(values[i]);
+    if (s.buf_times.size() >= s.options.page_size) {
+      ETSQP_RETURN_IF_ERROR(FlushSeries(&s));
+    }
+  }
+  return Status::Ok();
+}
+
+Status SeriesStore::Flush(const std::string& name) {
+  if (!name.empty()) {
+    auto it = series_.find(name);
+    if (it == series_.end()) return Status::NotFound("series: " + name);
+    return FlushSeries(&it->second);
+  }
+  for (auto& [unused, s] : series_) {
+    ETSQP_RETURN_IF_ERROR(FlushSeries(&s));
+  }
+  return Status::Ok();
+}
+
+Status SeriesStore::FlushSeries(Series* s) {
+  if (s->buf_times.empty()) return Status::Ok();
+  Result<Page> page =
+      s->is_float()
+          ? BuildPageF64(s->buf_times.data(), s->buf_values_f64.data(),
+                         s->buf_times.size(), s->options.page)
+          : BuildPage(s->buf_times.data(), s->buf_values.data(),
+                      s->buf_times.size(), s->options.page);
+  if (!page.ok()) return page.status();
+  s->total_points += s->buf_times.size();
+  s->pages.push_back(std::move(page).value());
+  s->buf_times.clear();
+  s->buf_values.clear();
+  s->buf_values_f64.clear();
+  return Status::Ok();
+}
+
+Status SeriesStore::AddPage(const std::string& name, Page page) {
+  auto it = series_.find(name);
+  if (it == series_.end()) return Status::NotFound("series: " + name);
+  it->second.total_points += page.header.count;
+  it->second.pages.push_back(std::move(page));
+  return Status::Ok();
+}
+
+bool SeriesStore::HasSeries(const std::string& name) const {
+  return series_.count(name) != 0;
+}
+
+Result<const SeriesStore::Series*> SeriesStore::GetSeries(
+    const std::string& name) const {
+  auto it = series_.find(name);
+  if (it == series_.end()) return Status::NotFound("series: " + name);
+  return &it->second;
+}
+
+std::vector<std::string> SeriesStore::SeriesNames() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, unused] : series_) names.push_back(name);
+  return names;
+}
+
+uint64_t SeriesStore::EncodedBytes(const std::string& name) const {
+  auto it = series_.find(name);
+  if (it == series_.end()) return 0;
+  uint64_t total = 0;
+  for (const Page& p : it->second.pages) total += p.encoded_bytes();
+  return total;
+}
+
+}  // namespace etsqp::storage

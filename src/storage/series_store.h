@@ -1,0 +1,77 @@
+#ifndef ETSQP_STORAGE_SERIES_STORE_H_
+#define ETSQP_STORAGE_SERIES_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/page_builder.h"
+
+namespace etsqp::storage {
+
+/// In-memory series catalog mirroring the IoTDB storage model (paper Section
+/// III-C): each time series is a sequence of separately encoded pages.
+/// Ingestion buffers raw points per series and flushes a page whenever the
+/// buffer reaches the page size — the "receiving buffer filled -> flush
+/// encoded blocks" behaviour of Figure 1.
+class SeriesStore {
+ public:
+  struct SeriesOptions {
+    PageOptions page;
+    uint32_t page_size = 4096;  // points per page
+  };
+
+  struct Series {
+    std::string name;
+    SeriesOptions options;
+    std::vector<Page> pages;
+    // Ingestion buffer (not yet queryable until flushed).
+    std::vector<int64_t> buf_times;
+    std::vector<int64_t> buf_values;
+    std::vector<double> buf_values_f64;  // float series only
+    uint64_t total_points = 0;  // flushed points
+
+    bool is_float() const {
+      return enc::IsFloatEncoding(options.page.value_encoding);
+    }
+  };
+
+  Status CreateSeries(const std::string& name, const SeriesOptions& options);
+
+  /// Appends one point; flushes a page when the buffer fills.
+  Status Append(const std::string& name, int64_t time, int64_t value);
+
+  /// Bulk append.
+  Status AppendBatch(const std::string& name, const int64_t* times,
+                     const int64_t* values, size_t n);
+
+  /// Float-series append (the series must use a float value encoding).
+  Status AppendF64(const std::string& name, int64_t time, double value);
+  Status AppendBatchF64(const std::string& name, const int64_t* times,
+                        const double* values, size_t n);
+
+  /// Flushes any buffered points of `name` (all series when name is empty).
+  Status Flush(const std::string& name = "");
+
+  /// Installs an already-built page (used by TsFile loading).
+  Status AddPage(const std::string& name, Page page);
+
+  bool HasSeries(const std::string& name) const;
+  Result<const Series*> GetSeries(const std::string& name) const;
+  std::vector<std::string> SeriesNames() const;
+
+  /// Total encoded bytes across all pages of `name` (compression metric).
+  uint64_t EncodedBytes(const std::string& name) const;
+
+ private:
+  Status FlushSeries(Series* series);
+
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace etsqp::storage
+
+#endif  // ETSQP_STORAGE_SERIES_STORE_H_

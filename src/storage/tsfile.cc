@@ -1,0 +1,79 @@
+#include "storage/tsfile.h"
+
+#include <cstdio>
+
+#include "common/bitstream.h"
+#include "storage/page.h"
+
+namespace etsqp::storage {
+
+namespace {
+constexpr uint32_t kMagic = 0x45545351;  // 'ETSQ'
+}  // namespace
+
+Status WriteTsFile(const SeriesStore& store, const std::string& path) {
+  std::vector<uint8_t> out;
+  PutFixed32BE(&out, kMagic);
+  std::vector<std::string> names = store.SeriesNames();
+  PutFixed32BE(&out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    Result<const SeriesStore::Series*> series = store.GetSeries(name);
+    if (!series.ok()) return series.status();
+    const SeriesStore::Series* s = series.value();
+    if (!s->buf_times.empty()) {
+      return Status::InvalidArgument("tsfile: unflushed series " + name);
+    }
+    PutFixed32BE(&out, static_cast<uint32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    PutFixed32BE(&out, static_cast<uint32_t>(s->pages.size()));
+    for (const Page& page : s->pages) SerializePage(page, &out);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("open for write: " + path);
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (written != out.size()) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Status ReadTsFile(const std::string& path, SeriesStore* store) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  long file_size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> data(static_cast<size_t>(file_size));
+  size_t read = std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (read != data.size()) return Status::IoError("short read: " + path);
+
+  if (data.size() < 8 || GetFixed32BE(data.data()) != kMagic) {
+    return Status::Corruption("tsfile: bad magic");
+  }
+  uint32_t num_series = GetFixed32BE(data.data() + 4);
+  size_t pos = 8;
+  for (uint32_t i = 0; i < num_series; ++i) {
+    if (pos + 4 > data.size()) return Status::Corruption("tsfile: truncated");
+    uint32_t name_len = GetFixed32BE(data.data() + pos);
+    pos += 4;
+    if (pos + name_len + 4 > data.size()) {
+      return Status::Corruption("tsfile: truncated");
+    }
+    std::string name(reinterpret_cast<const char*>(data.data() + pos),
+                     name_len);
+    pos += name_len;
+    uint32_t num_pages = GetFixed32BE(data.data() + pos);
+    pos += 4;
+    ETSQP_RETURN_IF_ERROR(
+        store->CreateSeries(name, SeriesStore::SeriesOptions{}));
+    for (uint32_t p = 0; p < num_pages; ++p) {
+      Page page;
+      ETSQP_RETURN_IF_ERROR(
+          DeserializePage(data.data(), data.size(), &pos, &page));
+      ETSQP_RETURN_IF_ERROR(store->AddPage(name, std::move(page)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace etsqp::storage

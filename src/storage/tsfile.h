@@ -1,0 +1,23 @@
+#ifndef ETSQP_STORAGE_TSFILE_H_
+#define ETSQP_STORAGE_TSFILE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/series_store.h"
+
+namespace etsqp::storage {
+
+/// Minimal TsFile-style persistence (paper [27]): a file holds, per series,
+/// a chunk of consecutive pages. Layout:
+///   u32 magic 'ETSQ' | u32 num_series
+///   per series: u32 name_len | name bytes | u32 num_pages | pages...
+/// All buffered points must be flushed before writing.
+Status WriteTsFile(const SeriesStore& store, const std::string& path);
+
+/// Loads every series in the file into `store` (series must not exist yet).
+Status ReadTsFile(const std::string& path, SeriesStore* store);
+
+}  // namespace etsqp::storage
+
+#endif  // ETSQP_STORAGE_TSFILE_H_

@@ -1,0 +1,244 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace etsqp::workload {
+
+namespace {
+
+constexpr int64_t kEpochMs = 1'600'000'000'000;  // base timestamp (ms)
+
+/// Regular timestamps with optional jitter (IoT clocks tick evenly; network
+/// delivery adds small jitter).
+std::vector<int64_t> MakeTimes(size_t rows, int64_t interval_ms,
+                               int64_t jitter_ms, std::mt19937_64* rng) {
+  std::vector<int64_t> t(rows);
+  std::uniform_int_distribution<int64_t> jit(0, std::max<int64_t>(jitter_ms, 0));
+  int64_t cur = kEpochMs;
+  for (size_t i = 0; i < rows; ++i) {
+    t[i] = cur;
+    cur += interval_ms + (jitter_ms > 0 ? jit(*rng) : 0);
+  }
+  return t;
+}
+
+}  // namespace
+
+Dataset MakeAtmosphere(size_t rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Dataset ds;
+  ds.name = "Atm";
+  ds.paper_rows = 132'000;
+  std::vector<int64_t> times = MakeTimes(rows, 1000, 0, &rng);
+  const char* names[3] = {"pressure", "temperature", "humidity"};
+  int64_t bases[3] = {101325, 2150, 6400};  // Pa, 0.01C, 0.01%
+  std::uniform_int_distribution<int> hold(20, 200);
+  std::normal_distribution<double> step(0.0, 1.2);
+  for (int a = 0; a < 3; ++a) {
+    SeriesData s;
+    s.name = names[a];
+    s.times = times;
+    s.values.resize(rows);
+    int64_t v = bases[a];
+    size_t i = 0;
+    while (i < rows) {
+      // Environmental readings hold a level, then drift slightly: long runs
+      // of identical deltas.
+      size_t run = std::min<size_t>(rows - i, hold(rng));
+      int64_t d = std::llround(step(rng));
+      for (size_t k = 0; k < run; ++k, ++i) {
+        v += d;
+        s.values[i] = v;
+      }
+    }
+    ds.series.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Dataset MakeClimate(size_t rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Dataset ds;
+  ds.name = "Clim";
+  ds.paper_rows = 8'400'000;
+  std::vector<int64_t> times = MakeTimes(rows, 60'000, 0, &rng);  // 1/min
+  const char* names[4] = {"temp", "dewpoint", "wind", "rain"};
+  double amp[4] = {800, 500, 300, 120};
+  double base[4] = {1500, 900, 400, 0};
+  std::normal_distribution<double> noise(0.0, 6.0);
+  const double day_points = 24.0 * 60.0;  // one-minute cadence
+  for (int a = 0; a < 4; ++a) {
+    SeriesData s;
+    s.name = names[a];
+    s.times = times;
+    s.values.resize(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      double phase = 2.0 * M_PI * static_cast<double>(i) / day_points;
+      s.values[i] = std::llround(base[a] + amp[a] * std::sin(phase + a) +
+                                 noise(rng));
+    }
+    ds.series.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Dataset MakeGas(size_t rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Dataset ds;
+  ds.name = "Gas";
+  ds.paper_rows = 925'000;
+  std::vector<int64_t> times = MakeTimes(rows, 250, 10, &rng);  // ~4Hz
+  std::uniform_int_distribution<int> spike_gap(500, 4000);
+  std::uniform_int_distribution<int> spike_len(20, 120);
+  std::normal_distribution<double> drift(0.0, 2.0);
+  std::normal_distribution<double> spike_step(60.0, 25.0);
+  for (int a = 0; a < 19; ++a) {
+    SeriesData s;
+    s.name = "sensor" + std::to_string(a);
+    s.times = times;
+    s.values.resize(rows);
+    int64_t v = 10'000 + a * 500;
+    size_t next_spike = spike_gap(rng);
+    size_t spike_left = 0;
+    for (size_t i = 0; i < rows; ++i) {
+      if (i == next_spike) {
+        spike_left = spike_len(rng);
+        next_spike = i + spike_gap(rng);
+      }
+      if (spike_left > 0) {
+        v += std::llround(spike_step(rng));  // activity event: big deltas
+        --spike_left;
+      } else {
+        v += std::llround(drift(rng));  // baseline drift: small deltas
+      }
+      v = std::max<int64_t>(v, 0);
+      s.values[i] = v;
+    }
+    ds.series.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Dataset MakeTimestamp(size_t rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Dataset ds;
+  ds.name = "Time";
+  ds.paper_rows = 1'000'000'000;
+  // Two attributes: an event timestamp column stored as a value, and a
+  // device sequence number — both near-arithmetic (huge Delta-Repeat runs).
+  std::vector<int64_t> times = MakeTimes(rows, 100, 0, &rng);
+  {
+    SeriesData s;
+    s.name = "event_time";
+    s.times = times;
+    s.values.resize(rows);
+    int64_t v = kEpochMs;
+    std::uniform_int_distribution<int> jitter(0, 99);
+    size_t i = 0;
+    while (i < rows) {
+      // Batches delivered together share one interval: long runs.
+      size_t run = std::min<size_t>(rows - i, 1000);
+      int64_t d = 100 + (jitter(rng) < 3 ? jitter(rng) : 0);
+      for (size_t k = 0; k < run; ++k, ++i) {
+        v += d;
+        s.values[i] = v;
+      }
+    }
+    ds.series.push_back(std::move(s));
+  }
+  {
+    SeriesData s;
+    s.name = "seqno";
+    s.times = times;
+    s.values.resize(rows);
+    for (size_t i = 0; i < rows; ++i) s.values[i] = static_cast<int64_t>(i);
+    ds.series.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Dataset MakeSine(size_t rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Dataset ds;
+  ds.name = "Sine";
+  ds.paper_rows = 1'000'000'000;
+  std::vector<int64_t> times = MakeTimes(rows, 10, 0, &rng);
+  double freq[6] = {1.0, 2.5, 5.0, 10.0, 25.0, 50.0};
+  double amp[6] = {1000, 2000, 4000, 8000, 500, 16000};
+  for (int a = 0; a < 6; ++a) {
+    SeriesData s;
+    s.name = "sine" + std::to_string(a);
+    s.times = times;
+    s.values.resize(rows);
+    const double period = 100'000.0 / freq[a];
+    for (size_t i = 0; i < rows; ++i) {
+      double phase = 2.0 * M_PI * static_cast<double>(i) / period;
+      s.values[i] = std::llround(amp[a] * std::sin(phase));
+    }
+    ds.series.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Dataset MakeTpch(size_t rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Dataset ds;
+  ds.name = "TPCH";
+  ds.paper_rows = 24'000;
+  std::vector<int64_t> times = MakeTimes(rows, 1000, 0, &rng);
+  SeriesData quantity{"quantity", times, {}};
+  SeriesData price{"extendedprice", times, {}};
+  SeriesData discount{"discount", times, {}};
+  SeriesData tax{"tax", times, {}};
+  std::uniform_int_distribution<int64_t> q(1, 50);
+  std::uniform_int_distribution<int64_t> p(90'000, 10'500'000);  // cents
+  std::uniform_int_distribution<int64_t> d(0, 10);
+  std::uniform_int_distribution<int64_t> t(0, 8);
+  quantity.values.resize(rows);
+  price.values.resize(rows);
+  discount.values.resize(rows);
+  tax.values.resize(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    quantity.values[i] = q(rng);
+    price.values[i] = p(rng);
+    discount.values[i] = d(rng);
+    tax.values[i] = t(rng);
+  }
+  ds.series = {std::move(quantity), std::move(price), std::move(discount),
+               std::move(tax)};
+  return ds;
+}
+
+std::vector<Dataset> MakeAllDatasets(double scale) {
+  auto scaled = [scale](size_t n) {
+    return std::max<size_t>(1000, static_cast<size_t>(n * scale));
+  };
+  std::vector<Dataset> all;
+  all.push_back(MakeAtmosphere(scaled(132'000)));
+  all.push_back(MakeClimate(scaled(1'000'000)));
+  all.push_back(MakeGas(scaled(925'000)));
+  all.push_back(MakeTimestamp(scaled(4'000'000)));
+  all.push_back(MakeSine(scaled(4'000'000)));
+  all.push_back(MakeTpch(scaled(24'000)));
+  return all;
+}
+
+Result<std::vector<std::string>> LoadDataset(
+    const Dataset& ds, const storage::SeriesStore::SeriesOptions& options,
+    storage::SeriesStore* store) {
+  std::vector<std::string> names;
+  for (const SeriesData& s : ds.series) {
+    std::string full = ds.name + "." + s.name;
+    ETSQP_RETURN_IF_ERROR(store->CreateSeries(full, options));
+    ETSQP_RETURN_IF_ERROR(store->AppendBatch(full, s.times.data(),
+                                             s.values.data(),
+                                             s.times.size()));
+    ETSQP_RETURN_IF_ERROR(store->Flush(full));
+    names.push_back(std::move(full));
+  }
+  return names;
+}
+
+}  // namespace etsqp::workload

@@ -1,0 +1,486 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "encoding/delta_rle.h"
+#include "encoding/rlbe.h"
+#include "encoding/ts2diff.h"
+#include "exec/column_decoder.h"
+#include "exec/cost_model.h"
+#include "exec/fusion.h"
+#include "exec/pipeline.h"
+#include "exec/pruning.h"
+#include "exec/scheduler.h"
+#include "storage/page_builder.h"
+
+namespace etsqp::exec {
+namespace {
+
+std::vector<int64_t> RandomWalk(size_t n, uint64_t seed, int64_t start,
+                                int64_t step_range) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> v(n);
+  int64_t x = start;
+  for (auto& y : v) {
+    x += static_cast<int64_t>(rng() % (2 * step_range + 1)) - step_range;
+    y = x;
+  }
+  return v;
+}
+
+std::vector<int64_t> RunnyWalk(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> v;
+  v.reserve(n);
+  int64_t x = 0;
+  while (v.size() < n) {
+    int64_t d = static_cast<int64_t>(rng() % 11) - 5;
+    size_t run = 1 + rng() % 60;
+    for (size_t k = 0; k < run && v.size() < n; ++k) {
+      x += d;
+      v.push_back(x);
+    }
+  }
+  return v;
+}
+
+// ----------------------------------------------------------- ColumnDecoder
+
+struct DecoderCase {
+  enc::ColumnEncoding encoding;
+  DecodeStrategy strategy;
+};
+
+class ColumnDecoderTest : public ::testing::TestWithParam<DecoderCase> {};
+
+TEST_P(ColumnDecoderTest, MatchesReferenceDecode) {
+  DecoderCase c = GetParam();
+  std::vector<int64_t> values = RandomWalk(5000, 17, 100000, 300);
+  storage::PageOptions opt;
+  opt.value_encoding = c.encoding;
+  std::vector<int64_t> times(values.size());
+  for (size_t i = 0; i < times.size(); ++i) times[i] = 1000 + 10 * i;
+  Result<storage::Page> page =
+      storage::BuildPage(times.data(), values.data(), values.size(), opt);
+  ASSERT_TRUE(page.ok());
+
+  DecodedColumn col;
+  ASSERT_TRUE(DecodeColumn(page.value().value_data.data(),
+                           page.value().value_data.size(), c.encoding,
+                           page.value().header.count, c.strategy, 0, &col)
+                  .ok());
+  ASSERT_EQ(col.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(col.Get(i), values[i]) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ColumnDecoderTest,
+    ::testing::Values(
+        DecoderCase{enc::ColumnEncoding::kTs2Diff, DecodeStrategy::kEtsqp},
+        DecoderCase{enc::ColumnEncoding::kTs2Diff, DecodeStrategy::kSerial},
+        DecoderCase{enc::ColumnEncoding::kTs2Diff, DecodeStrategy::kSboost},
+        DecoderCase{enc::ColumnEncoding::kDeltaRle, DecodeStrategy::kEtsqp},
+        DecoderCase{enc::ColumnEncoding::kDeltaRle, DecodeStrategy::kSerial},
+        DecoderCase{enc::ColumnEncoding::kDeltaRle, DecodeStrategy::kSboost},
+        DecoderCase{enc::ColumnEncoding::kRlbe, DecodeStrategy::kEtsqp},
+        DecoderCase{enc::ColumnEncoding::kRlbe, DecodeStrategy::kSerial},
+        DecoderCase{enc::ColumnEncoding::kSprintz, DecodeStrategy::kEtsqp},
+        DecoderCase{enc::ColumnEncoding::kFastLanes,
+                    DecodeStrategy::kFastLanes},
+        DecoderCase{enc::ColumnEncoding::kFastLanes,
+                    DecodeStrategy::kSerial},
+        DecoderCase{enc::ColumnEncoding::kGorilla, DecodeStrategy::kEtsqp},
+        DecoderCase{enc::ColumnEncoding::kGorilla, DecodeStrategy::kSerial},
+        DecoderCase{enc::ColumnEncoding::kPlain, DecodeStrategy::kEtsqp}));
+
+TEST(ColumnDecoderTest, RangeDecodeMatchesFull) {
+  std::vector<int64_t> values = RandomWalk(4000, 19, 0, 100);
+  enc::EncodedColumn col =
+      enc::Ts2DiffEncoder(256).Encode(values.data(), values.size());
+  AlignedBuffer buf;
+  buf.Assign(col.bytes.data(), col.bytes.size());
+  for (auto [begin, end] : {std::pair<size_t, size_t>{0, 4000},
+                            {100, 200},
+                            {250, 260},  // within one block
+                            {200, 1300},
+                            {3990, 4000},
+                            {500, 500}}) {
+    DecodedColumn out;
+    ASSERT_TRUE(DecodeColumnRange(buf.data(), buf.size(),
+                                  enc::ColumnEncoding::kTs2Diff, 4000,
+                                  DecodeStrategy::kEtsqp, 0, begin, end, &out)
+                    .ok());
+    ASSERT_EQ(out.size(), end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      ASSERT_EQ(out.Get(i - begin), values[i]) << begin << ":" << end;
+    }
+  }
+}
+
+TEST(ColumnDecoderTest, RlbeRangeDecodeUsesAnchors) {
+  std::vector<int64_t> values = RunnyWalk(30000, 71);
+  enc::EncodedColumn col =
+      enc::RlbeEncoder().Encode(values.data(), values.size());
+  AlignedBuffer buf;
+  buf.Assign(col.bytes.data(), col.bytes.size());
+  for (auto [begin, end] : {std::pair<size_t, size_t>{0, 30000},
+                            {0, 100},
+                            {5000, 6000},
+                            {29990, 30000},
+                            {1, 2}}) {
+    DecodedColumn out;
+    ASSERT_TRUE(DecodeColumnRange(buf.data(), buf.size(),
+                                  enc::ColumnEncoding::kRlbe, 30000,
+                                  DecodeStrategy::kEtsqp, 0, begin, end, &out)
+                    .ok());
+    ASSERT_EQ(out.size(), end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      ASSERT_EQ(out.Get(i - begin), values[i]) << begin << ":" << end;
+    }
+  }
+}
+
+TEST(ColumnDecoderTest, WideValuesFallBackTo64Bit) {
+  // Swing exceeding int32: must still decode correctly via the wide path.
+  std::vector<int64_t> values = {0, 1ll << 33, 1ll << 34, (1ll << 34) + 5};
+  enc::EncodedColumn col =
+      enc::Ts2DiffEncoder().Encode(values.data(), values.size());
+  AlignedBuffer buf;
+  buf.Assign(col.bytes.data(), col.bytes.size());
+  DecodedColumn out;
+  ASSERT_TRUE(DecodeColumn(buf.data(), buf.size(),
+                           enc::ColumnEncoding::kTs2Diff, 4,
+                           DecodeStrategy::kEtsqp, 0, &out)
+                  .ok());
+  EXPECT_FALSE(out.narrow);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(out.Get(i), values[i]);
+}
+
+// ----------------------------------------------------------- Fusion
+
+TEST(FusionTest, Ts2DiffFusedSumMatchesDecode) {
+  std::vector<int64_t> values = RandomWalk(3000, 23, -5000, 200);
+  enc::EncodedColumn col =
+      enc::Ts2DiffEncoder(300).Encode(values.data(), values.size());
+  AlignedBuffer buf;
+  buf.Assign(col.bytes.data(), col.bytes.size());
+  Result<Ts2DiffFusedReader> reader =
+      Ts2DiffFusedReader::Open(buf.data(), buf.size());
+  ASSERT_TRUE(reader.ok());
+
+  std::mt19937_64 rng(29);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t a = rng() % values.size();
+    size_t b = a + rng() % (values.size() - a + 1);
+    int64_t expected = 0;
+    for (size_t i = a; i < b; ++i) expected += values[i];
+    int64_t fused = 0;
+    ASSERT_TRUE(reader.value().SumRange(a, b, &fused).ok());
+    EXPECT_EQ(fused, expected) << a << ":" << b;
+  }
+}
+
+TEST(FusionTest, Ts2DiffValueAt) {
+  std::vector<int64_t> values = RandomWalk(1000, 31, 7, 50);
+  enc::EncodedColumn col =
+      enc::Ts2DiffEncoder(128).Encode(values.data(), values.size());
+  AlignedBuffer buf;
+  buf.Assign(col.bytes.data(), col.bytes.size());
+  Result<Ts2DiffFusedReader> reader =
+      Ts2DiffFusedReader::Open(buf.data(), buf.size());
+  ASSERT_TRUE(reader.ok());
+  for (size_t i : {0ul, 1ul, 127ul, 128ul, 500ul, 999ul}) {
+    int64_t v = 0;
+    ASSERT_TRUE(reader.value().ValueAt(i, &v).ok());
+    EXPECT_EQ(v, values[i]);
+  }
+  int64_t v;
+  EXPECT_FALSE(reader.value().ValueAt(1000, &v).ok());
+}
+
+TEST(FusionTest, DeltaRleAggMatchesDecode) {
+  std::vector<int64_t> values = RunnyWalk(5000, 37);
+  enc::EncodedColumn col =
+      enc::DeltaRleEncoder().Encode(values.data(), values.size());
+  auto parsed = enc::DeltaRleColumn::Parse(col.bytes.data(), col.bytes.size());
+  ASSERT_TRUE(parsed.ok());
+
+  std::mt19937_64 rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t a = rng() % values.size();
+    size_t b = a + rng() % (values.size() - a + 1);
+    __int128 esum = 0, esq = 0;
+    for (size_t i = a; i < b; ++i) {
+      esum += values[i];
+      esq += static_cast<__int128>(values[i]) * values[i];
+    }
+    DeltaRleAggregates agg;
+    ASSERT_TRUE(FusedAggDeltaRle(parsed.value(), a, b, true, &agg).ok());
+    EXPECT_EQ(agg.sum, static_cast<int64_t>(esum)) << a << ":" << b;
+    EXPECT_EQ(agg.count, b - a);
+    EXPECT_TRUE(agg.sum_sq == esq);
+  }
+}
+
+TEST(FusionTest, CrossProductMatchesDecode) {
+  std::vector<int64_t> a_vals = RunnyWalk(3000, 43);
+  std::vector<int64_t> b_vals = RunnyWalk(3000, 47);
+  enc::EncodedColumn ca =
+      enc::DeltaRleEncoder().Encode(a_vals.data(), a_vals.size());
+  enc::EncodedColumn cb =
+      enc::DeltaRleEncoder().Encode(b_vals.data(), b_vals.size());
+  auto pa = enc::DeltaRleColumn::Parse(ca.bytes.data(), ca.bytes.size());
+  auto pb = enc::DeltaRleColumn::Parse(cb.bytes.data(), cb.bytes.size());
+  ASSERT_TRUE(pa.ok() && pb.ok());
+
+  std::mt19937_64 rng(53);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t a = rng() % a_vals.size();
+    size_t b = a + rng() % (a_vals.size() - a + 1);
+    __int128 expected = 0;
+    for (size_t i = a; i < b; ++i) {
+      expected += static_cast<__int128>(a_vals[i]) * b_vals[i];
+    }
+    __int128 cross = 0;
+    ASSERT_TRUE(
+        FusedCrossDeltaRle(pa.value(), pb.value(), a, b, &cross).ok());
+    EXPECT_TRUE(cross == expected) << a << ":" << b;
+  }
+}
+
+TEST(FusionTest, SumOverflowDetected) {
+  // Values near INT64_MAX/2: a range sum of 3+ overflows int64.
+  std::vector<int64_t> values(100, INT64_MAX / 2);
+  for (size_t i = 1; i < values.size(); ++i) values[i] = values[i - 1] + 1;
+  enc::EncodedColumn col =
+      enc::Ts2DiffEncoder().Encode(values.data(), values.size());
+  AlignedBuffer buf;
+  buf.Assign(col.bytes.data(), col.bytes.size());
+  Result<Ts2DiffFusedReader> reader =
+      Ts2DiffFusedReader::Open(buf.data(), buf.size());
+  ASSERT_TRUE(reader.ok());
+  int64_t out;
+  Status st = reader.value().SumRange(0, 100, &out);
+  EXPECT_EQ(st.code(), StatusCode::kOverflow);
+  // A 1-element range is fine.
+  ASSERT_TRUE(reader.value().SumRange(0, 1, &out).ok());
+  EXPECT_EQ(out, INT64_MAX / 2);
+}
+
+// ----------------------------------------------------------- Pruning
+
+TEST(PruningTest, TimeRangePositionsMatchReference) {
+  std::mt19937_64 rng(59);
+  std::vector<int64_t> times(3000);
+  int64_t t = 0;
+  for (auto& x : times) {
+    t += 1 + static_cast<int64_t>(rng() % 20);
+    x = t;
+  }
+  enc::EncodedColumn col =
+      enc::Ts2DiffEncoder(256).Encode(times.data(), times.size());
+  AlignedBuffer buf;
+  buf.Assign(col.bytes.data(), col.bytes.size());
+
+  for (bool prune : {false, true}) {
+    for (int trial = 0; trial < 60; ++trial) {
+      int64_t lo = static_cast<int64_t>(rng() % (t + 200)) - 100;
+      int64_t hi = lo + static_cast<int64_t>(rng() % (t / 2 + 1));
+      TimeRange range{lo, hi};
+      size_t first = 0, last = 0;
+      ASSERT_TRUE(TimeRangePositions(buf.data(), buf.size(), times.size(),
+                                     range, DecodeStrategy::kEtsqp, 0, prune,
+                                     &first, &last, nullptr, nullptr)
+                      .ok());
+      size_t ref_first =
+          std::lower_bound(times.begin(), times.end(), lo) - times.begin();
+      size_t ref_last =
+          std::upper_bound(times.begin(), times.end(), hi) - times.begin();
+      if (ref_first >= ref_last) {
+        EXPECT_EQ(first, last) << "prune=" << prune << " [" << lo << ","
+                               << hi << "]";
+      } else {
+        EXPECT_EQ(first, ref_first)
+            << "prune=" << prune << " [" << lo << "," << hi << "]";
+        EXPECT_EQ(last, ref_last)
+            << "prune=" << prune << " [" << lo << "," << hi << "]";
+      }
+    }
+  }
+}
+
+TEST(PruningTest, ConstantIntervalDirectPositions) {
+  std::vector<int64_t> times(2048);
+  for (size_t i = 0; i < times.size(); ++i) {
+    times[i] = 1000 + static_cast<int64_t>(i) * 10;
+  }
+  enc::EncodedColumn col =
+      enc::Ts2DiffEncoder(1024).Encode(times.data(), times.size());
+  AlignedBuffer buf;
+  buf.Assign(col.bytes.data(), col.bytes.size());
+  size_t first = 0, last = 0;
+  uint64_t scanned = 0;
+  ASSERT_TRUE(TimeRangePositions(buf.data(), buf.size(), times.size(),
+                                 TimeRange{1500, 2504}, DecodeStrategy::kEtsqp,
+                                 0, /*prune=*/true, &first, &last, nullptr,
+                                 &scanned)
+                  .ok());
+  EXPECT_EQ(first, 50u);
+  EXPECT_EQ(last, 151u);  // t=2500 at index 150 inclusive
+  EXPECT_EQ(scanned, 0u);  // no decoding: direct arithmetic
+}
+
+TEST(PruningTest, PrunesBlocksBelowRange) {
+  std::vector<int64_t> times(4096);
+  for (size_t i = 0; i < times.size(); ++i) {
+    times[i] = static_cast<int64_t>(i) * 10 + static_cast<int64_t>(i % 7);
+  }
+  enc::EncodedColumn col =
+      enc::Ts2DiffEncoder(256).Encode(times.data(), times.size());
+  AlignedBuffer buf;
+  buf.Assign(col.bytes.data(), col.bytes.size());
+  size_t first = 0, last = 0;
+  uint64_t pruned = 0;
+  ASSERT_TRUE(TimeRangePositions(buf.data(), buf.size(), times.size(),
+                                 TimeRange{38000, 39000},
+                                 DecodeStrategy::kEtsqp, 0, true, &first,
+                                 &last, &pruned, nullptr)
+                  .ok());
+  EXPECT_GT(pruned, 10u);  // most leading blocks skipped undecoded
+  size_t ref_first =
+      std::lower_bound(times.begin(), times.end(), 38000) - times.begin();
+  EXPECT_EQ(first, ref_first);
+}
+
+TEST(PruningTest, ValueBlockPrunableIsSound) {
+  std::mt19937_64 rng(61);
+  std::vector<int64_t> values = RandomWalk(2000, 61, 0, 500);
+  enc::EncodedColumn col =
+      enc::Ts2DiffEncoder(128).Encode(values.data(), values.size());
+  auto parsed = enc::Ts2DiffColumn::Parse(col.bytes.data(), col.bytes.size());
+  ASSERT_TRUE(parsed.ok());
+  for (int trial = 0; trial < 100; ++trial) {
+    int64_t lo = static_cast<int64_t>(rng() % 20000) - 10000;
+    int64_t hi = lo + static_cast<int64_t>(rng() % 5000);
+    for (const enc::Ts2DiffBlock& b : parsed.value().blocks()) {
+      if (!ValueBlockPrunable(b, lo, hi)) continue;
+      // Soundness: no value in the pruned block may satisfy the filter.
+      for (uint32_t i = 0; i < b.num_values(); ++i) {
+        int64_t v = values[b.start_index + i];
+        EXPECT_TRUE(v < lo || v > hi) << "pruned block contains match";
+      }
+    }
+  }
+}
+
+TEST(PruningTest, DeltaRleBoundsContainAllValues) {
+  std::vector<int64_t> values = RunnyWalk(3000, 67);
+  enc::EncodedColumn col =
+      enc::DeltaRleEncoder().Encode(values.data(), values.size());
+  auto parsed = enc::DeltaRleColumn::Parse(col.bytes.data(), col.bytes.size());
+  ASSERT_TRUE(parsed.ok());
+  int64_t lo, hi;
+  DeltaRleValueBounds(parsed.value(), &lo, &hi);
+  for (int64_t v : values) {
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+// ----------------------------------------------------------- Scheduler
+
+TEST(SchedulerTest, RunJobsExecutesAll) {
+  std::vector<int> hits(100, 0);
+  RunJobs(100, 4, [&](size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(SchedulerTest, RunJobsSingleThread) {
+  std::vector<size_t> order;
+  RunJobs(10, 1, [&](size_t i) { order.push_back(i); });
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, OnePagePerJobWhenPagesOutnumberCores) {
+  std::vector<size_t> counts(10, 4096);
+  auto slices = PlanSlices(counts, 4, 1024);
+  ASSERT_EQ(slices.size(), 10u);
+  for (size_t p = 0; p < 10; ++p) {
+    EXPECT_EQ(slices[p].page_index, p);
+    EXPECT_EQ(slices[p].begin, 0u);
+    EXPECT_EQ(slices[p].end, 4096u);
+  }
+}
+
+TEST(SchedulerTest, SlicesWhenCoresOutnumberPages) {
+  std::vector<size_t> counts(2, 8192);
+  auto slices = PlanSlices(counts, 8, 1024);
+  EXPECT_GT(slices.size(), 2u);
+  EXPECT_LE(slices.size(), 8u);
+  // Slices tile each page exactly, block-aligned.
+  size_t covered = 0;
+  for (const PageSlice& s : slices) {
+    EXPECT_EQ(s.begin % 1024, 0u);
+    covered += s.end - s.begin;
+  }
+  EXPECT_EQ(covered, 2u * 8192u);
+}
+
+TEST(SchedulerTest, TinyPagesDoNotOverSlice) {
+  std::vector<size_t> counts = {100};
+  auto slices = PlanSlices(counts, 16, 1024);
+  ASSERT_EQ(slices.size(), 1u);  // one block: cannot split further
+  EXPECT_EQ(slices[0].end, 100u);
+}
+
+// ----------------------------------------------------------- Cost model
+
+TEST(CostModelTest, OptimalNvMatchesPaperExamples) {
+  // Figure 4: width 10 -> 6 vectors; Example 4 (width 25) -> small n_v.
+  EXPECT_EQ(OptimalNv(10), 6);
+  int nv25 = OptimalNv(25);
+  EXPECT_GE(nv25, 2);
+  EXPECT_LE(nv25, 5);
+}
+
+TEST(CostModelTest, AverageTimeConvex) {
+  CostConstants c;
+  // T_AVG(n_v) should dip then rise: the Proposition 1 optimum is interior.
+  double t1 = AverageDecodeTime(10, 32, 1, c);
+  double topt = AverageDecodeTime(10, 32, 4, c);
+  double t16 = AverageDecodeTime(10, 32, 16, c);
+  EXPECT_LT(topt, t1);
+  EXPECT_LT(topt, t16);
+}
+
+TEST(CostModelTest, OptimalNvRealFormula) {
+  CostConstants c;
+  double nv = OptimalNvReal(10, 32, c);
+  // sqrt(32/10 * 11/2) ~ 4.2 with the paper's constants.
+  EXPECT_NEAR(nv, std::sqrt(32.0 / 10.0 * (c.t_prefix - c.t_add) /
+                            c.t_unpack),
+              1e-9);
+  EXPECT_GT(nv, 1.0);
+  EXPECT_LT(nv, 16.0);
+}
+
+TEST(CostModelTest, SpeedupScalesWithThreads) {
+  CostConstants c;
+  double s1 = EstimatedSpeedup(10, 32, 1, c);
+  double s16 = EstimatedSpeedup(10, 32, 16, c);
+  EXPECT_GT(s1, 1.0);
+  EXPECT_NEAR(s16 / s1, 16.0, 1e-9);
+  // The paper's headline for 10-bit TS2DIFF with 16 threads is ~15.3x;
+  // the model must at least predict that much at cache-hit access ratios
+  // (Theorem 2 says the ratio grows with t_visMem / t_op).
+  EXPECT_GT(s16, 15.0);
+  EXPECT_LT(s16, 1000.0);
+  CostConstants slow = c;
+  slow.t_vis_mem = 40.0;
+  EXPECT_GT(EstimatedSpeedup(10, 32, 16, slow), s16);
+}
+
+}  // namespace
+}  // namespace etsqp::exec

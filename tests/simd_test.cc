@@ -1,0 +1,545 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <tuple>
+
+#include "common/aligned_buffer.h"
+#include "common/bit_util.h"
+#include "common/bitstream.h"
+#include "common/cpu.h"
+#include "encoding/bitpack.h"
+#include "encoding/fibonacci.h"
+#include "simd/agg_simd.h"
+#include "simd/delta_simd.h"
+#include "simd/fib_simd.h"
+#include "simd/filter_simd.h"
+#include "simd/rle_flatten.h"
+#include "simd/transposed_unpack.h"
+#include "simd/transposed_unpack_avx512.h"
+#include "simd/unpack.h"
+#include "simd/unpack_plan.h"
+
+namespace etsqp::simd {
+namespace {
+
+AlignedBuffer PackValues(const std::vector<uint64_t>& values, int width) {
+  BitWriter w;
+  enc::PackBE(values.data(), values.size(), width, &w);
+  auto bytes = w.TakeBuffer();
+  AlignedBuffer buf;
+  buf.Assign(bytes.data(), bytes.size());
+  return buf;
+}
+
+// --------------------------------------------------------------- unpack
+
+class UnpackWidthSizeTest
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(UnpackWidthSizeTest, Avx2MatchesScalar) {
+  auto [width, n] = GetParam();
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2";
+  std::mt19937_64 rng(width * 1000 + n);
+  std::vector<uint64_t> values(n);
+  for (auto& v : values) v = rng() & MaskLow64(width);
+  AlignedBuffer buf = PackValues(values, width);
+  std::vector<uint32_t> simd_out(n, 0xDEADBEEF), scalar_out(n, 1);
+  UnpackBE32Avx2(buf.data(), buf.size(), n, width, simd_out.data());
+  UnpackBE32Scalar(buf.data(), buf.size(), n, width, scalar_out.data());
+  ASSERT_EQ(simd_out, scalar_out) << "width=" << width << " n=" << n;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(scalar_out[i], static_cast<uint32_t>(values[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UnpackWidthSizeTest,
+    ::testing::Combine(::testing::Range(1, 33),
+                       ::testing::Values<size_t>(1, 8, 63, 257, 4096)));
+
+class Unpack512Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Unpack512Test, MatchesScalar) {
+  if (!Avx512Available()) GTEST_SKIP() << "no AVX-512 VBMI";
+  int width = GetParam();
+  std::mt19937_64 rng(width + 900);
+  for (size_t n : {1ul, 16ul, 17ul, 500ul, 4096ul}) {
+    std::vector<uint64_t> values(n);
+    for (auto& v : values) v = rng() & MaskLow64(width);
+    AlignedBuffer buf = PackValues(values, width);
+    std::vector<uint32_t> a(n, 1), b(n, 2);
+    UnpackBE32Avx512(buf.data(), buf.size(), n, width, a.data());
+    UnpackBE32Scalar(buf.data(), buf.size(), n, width, b.data());
+    ASSERT_EQ(a, b) << "width=" << width << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, Unpack512Test, ::testing::Range(1, 26));
+
+TEST(UnpackPlanTest, FastPlanInvariants) {
+  for (int width = 1; width <= 25; ++width) {
+    const UnpackPlan& plan = GetUnpackPlan(width);
+    EXPECT_FALSE(plan.wide);
+    EXPECT_EQ(plan.bytes_per_iter, width);
+    EXPECT_EQ(plan.mask, MaskLow32(width));
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_TRUE(plan.shuffle[i] == 0x80 || plan.shuffle[i] <= 15);
+    }
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_LT(plan.shift[j], 32u);
+    }
+  }
+}
+
+TEST(UnpackPlanTest, WidePlanInvariants) {
+  for (int width = 26; width <= 32; ++width) {
+    const UnpackPlan& plan = GetUnpackPlan(width);
+    EXPECT_TRUE(plan.wide);
+    EXPECT_EQ(plan.mask64, MaskLow64(width));
+    for (int s = 0; s < 2; ++s) {
+      for (int k = 0; k < 4; ++k) {
+        EXPECT_LT(plan.steps[s].shift[k], 64u);
+      }
+    }
+  }
+}
+
+TEST(UnpackPlanTest, TransposedPlanCoversAllValues) {
+  for (int width : {1, 7, 10, 13, 25}) {
+    for (int n_v : {1, 3, 6, 8, 16}) {
+      const TransposedPlan& plan = GetTransposedPlan(width, n_v);
+      EXPECT_EQ(plan.values_per_chunk, n_v * 8);
+      EXPECT_EQ(plan.bytes_per_chunk, n_v * width);
+      // Every (vector, lane) slot must be written by exactly one segment.
+      for (int j = 0; j < n_v; ++j) {
+        for (int lane = 0; lane < 8; ++lane) {
+          int writers = 0;
+          for (size_t s = 0; s < plan.segments.size(); ++s) {
+            const auto& shuf = plan.shuffles[s * n_v + j];
+            int base = (lane / 4) * 16 + (lane % 4) * 4;
+            if (shuf[base] != 0x80) ++writers;
+          }
+          EXPECT_EQ(writers, 1) << "w=" << width << " nv=" << n_v;
+        }
+      }
+    }
+  }
+}
+
+TEST(UnpackPlanTest, PlansAreCachedSingletons) {
+  // The JIT decoder generator (Section III-B) computes each plan once; the
+  // steady state is a lookup.
+  const UnpackPlan* a = &GetUnpackPlan(10);
+  const UnpackPlan* b = &GetUnpackPlan(10);
+  EXPECT_EQ(a, b);
+  const TransposedPlan* c = &GetTransposedPlan(10, 6);
+  const TransposedPlan* d = &GetTransposedPlan(10, 6);
+  EXPECT_EQ(c, d);
+  EXPECT_NE(c, &GetTransposedPlan(10, 4));
+}
+
+TEST(UnpackPlanTest, LaneGroupMappingIsBijective) {
+  for (int g = 0; g < 8; ++g) {
+    EXPECT_EQ(LaneToGroup(GroupToLane(g)), g);
+  }
+  for (int l = 0; l < 8; ++l) {
+    EXPECT_EQ(GroupToLane(LaneToGroup(l)), l);
+  }
+}
+
+// --------------------------------------------------------------- delta
+
+class TransposedDeltaTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TransposedDeltaTest, Avx2MatchesScalar) {
+  auto [width, n_v] = GetParam();
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2";
+  std::mt19937_64 rng(width * 100 + n_v);
+  size_t n = 1337;
+  std::vector<uint64_t> residuals(n);
+  for (auto& v : residuals) v = rng() & MaskLow64(width) & 0x3FFF;
+  AlignedBuffer buf = PackValues(residuals, width);
+  std::vector<int32_t> simd_out(n), scalar_out(n);
+  DeltaDecodeOffsetsAvx2(buf.data(), buf.size(), n, width, -7, n_v, 100,
+                         simd_out.data());
+  DeltaDecodeOffsetsScalar(buf.data(), buf.size(), n, width, -7, 100,
+                           scalar_out.data());
+  ASSERT_EQ(simd_out, scalar_out) << "width=" << width << " n_v=" << n_v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransposedDeltaTest,
+    ::testing::Combine(::testing::Range(1, 26),
+                       ::testing::Values(1, 2, 3, 5, 6, 8, 12, 16)));
+
+class Avx512DeltaTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Avx512DeltaTest, MatchesScalar) {
+  if (!Avx512Available()) GTEST_SKIP() << "no AVX-512 VBMI";
+  auto [width, n_v] = GetParam();
+  std::mt19937_64 rng(width * 31 + n_v);
+  size_t n = 2111;
+  std::vector<uint64_t> residuals(n);
+  for (auto& v : residuals) v = rng() & MaskLow64(width) & 0x3FFF;
+  AlignedBuffer buf = PackValues(residuals, width);
+  std::vector<int32_t> simd_out(n), scalar_out(n);
+  DeltaDecodeOffsetsAvx512(buf.data(), buf.size(), n, width, -3, n_v, 42,
+                           simd_out.data());
+  DeltaDecodeOffsetsScalar(buf.data(), buf.size(), n, width, -3, 42,
+                           scalar_out.data());
+  ASSERT_EQ(simd_out, scalar_out) << "width=" << width << " n_v=" << n_v;
+
+  // Unordered variant: same multiset.
+  std::vector<int32_t> unordered(n);
+  DeltaDecodeOffsetsAvx512Unordered(buf.data(), buf.size(), n, width, -3, n_v,
+                                    42, unordered.data());
+  std::sort(simd_out.begin(), simd_out.end());
+  std::sort(unordered.begin(), unordered.end());
+  EXPECT_EQ(simd_out, unordered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Avx512DeltaTest,
+    ::testing::Combine(::testing::Values(1, 3, 7, 10, 13, 17, 21, 25),
+                       ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16)));
+
+TEST(TransposedDeltaTest, DefaultNvInRange) {
+  for (int width = 1; width <= 25; ++width) {
+    int n_v = DefaultNumVectors(width);
+    EXPECT_GE(n_v, 1) << width;
+    EXPECT_LE(n_v, 16) << width;
+  }
+  // The paper's Figure 4 example: width 10 -> 6 vectors.
+  EXPECT_EQ(DefaultNumVectors(10), 6);
+}
+
+TEST(TransposedDeltaTest, InitParameterShiftsOutput) {
+  std::vector<uint64_t> residuals(64, 1);
+  AlignedBuffer buf = PackValues(residuals, 4);
+  std::vector<int32_t> a(64), b(64);
+  DeltaDecodeOffsets(buf.data(), buf.size(), 64, 4, 0, 0, 0, a.data());
+  DeltaDecodeOffsets(buf.data(), buf.size(), 64, 4, 0, 0, 50, b.data());
+  for (size_t i = 0; i < 64; ++i) EXPECT_EQ(b[i], a[i] + 50);
+}
+
+TEST(TransposedDeltaTest, UnorderedIsPermutationWithEqualSums) {
+  std::mt19937_64 rng(55);
+  size_t n = 1536;
+  int width = 9;
+  std::vector<uint64_t> residuals(n);
+  for (auto& v : residuals) v = rng() & MaskLow64(width);
+  AlignedBuffer buf = PackValues(residuals, width);
+  std::vector<int32_t> ordered(n), unordered(n);
+  DeltaDecodeOffsets(buf.data(), buf.size(), n, width, 2, 0, 5,
+                     ordered.data());
+  DeltaDecodeOffsetsUnordered(buf.data(), buf.size(), n, width, 2, 0, 5,
+                              unordered.data());
+  std::vector<int32_t> a = ordered, b = unordered;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);  // same multiset -> same SUM/MIN/MAX/COUNT
+  EXPECT_NE(ordered, unordered);  // layout actually differs (n_v=5 chunks)
+}
+
+TEST(PrefixSumTest, Avx2MatchesScalar) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2";
+  std::mt19937_64 rng(77);
+  for (size_t n : {0ul, 1ul, 7ul, 8ul, 9ul, 100ul, 1000ul}) {
+    std::vector<int32_t> a(n), b;
+    for (auto& v : a) v = static_cast<int32_t>(rng() % 1000) - 500;
+    b = a;
+    PrefixSumInt32Avx2(a.data(), n);
+    PrefixSumInt32Scalar(b.data(), n);
+    EXPECT_EQ(a, b) << n;
+  }
+}
+
+TEST(SboostTest, MatchesTransposedDecode) {
+  std::mt19937_64 rng(88);
+  size_t n = 2000;
+  int width = 12;
+  std::vector<uint64_t> residuals(n);
+  for (auto& v : residuals) v = rng() & MaskLow64(width);
+  AlignedBuffer buf = PackValues(residuals, width);
+  std::vector<int32_t> sboost(n), etsqp(n);
+  SboostDeltaDecode(buf.data(), buf.size(), n, width, 3, 11, sboost.data());
+  DeltaDecodeOffsets(buf.data(), buf.size(), n, width, 3, 0, 11,
+                     etsqp.data());
+  EXPECT_EQ(sboost, etsqp);
+}
+
+// --------------------------------------------------------------- flatten
+
+TEST(FlattenTest, Avx2MatchesScalar) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2";
+  std::mt19937_64 rng(99);
+  size_t num_pairs = 200;
+  std::vector<int32_t> deltas(num_pairs);
+  std::vector<uint32_t> runs(num_pairs);
+  size_t total = 0;
+  for (size_t i = 0; i < num_pairs; ++i) {
+    deltas[i] = static_cast<int32_t>(rng() % 21) - 10;
+    runs[i] = 1 + static_cast<uint32_t>(rng() % 40);
+    total += runs[i];
+  }
+  std::vector<int32_t> a(total), b(total);
+  size_t na = FlattenDeltaRunsAvx2(deltas.data(), runs.data(), num_pairs, 5,
+                                   a.data());
+  size_t nb = FlattenDeltaRunsScalar(deltas.data(), runs.data(), num_pairs, 5,
+                                     b.data());
+  ASSERT_EQ(na, total);
+  ASSERT_EQ(nb, total);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FlattenTest, LongRunsUseRamps) {
+  std::vector<int32_t> deltas = {3};
+  std::vector<uint32_t> runs = {100};
+  std::vector<int32_t> out(100);
+  size_t n = FlattenDeltaRuns(deltas.data(), runs.data(), 1, 10, out.data());
+  ASSERT_EQ(n, 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i], 10 + 3 * static_cast<int32_t>(i + 1));
+  }
+}
+
+// --------------------------------------------------------------- filter
+
+TEST(FilterTest, Avx2MatchesScalar) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2";
+  std::mt19937_64 rng(111);
+  for (size_t n : {1ul, 8ul, 64ul, 65ul, 1000ul}) {
+    std::vector<int32_t> values(n);
+    for (auto& v : values) v = static_cast<int32_t>(rng() % 2000) - 1000;
+    std::vector<uint64_t> ma(CeilDiv(n, 64)), mb(CeilDiv(n, 64));
+    RangeFilterMaskInt32Avx2(values.data(), n, -100, 250, ma.data());
+    RangeFilterMaskInt32Scalar(values.data(), n, -100, 250, mb.data());
+    EXPECT_EQ(ma, mb) << n;
+  }
+}
+
+TEST(FilterTest, MaskSemantics) {
+  std::vector<int32_t> values = {1, 5, 10, 15, 20};
+  uint64_t mask = 0;
+  RangeFilterMaskInt32(values.data(), values.size(), 5, 15, &mask);
+  EXPECT_EQ(mask, 0b01110u);
+  EXPECT_EQ(CountMaskBits(&mask, values.size()), 3u);
+}
+
+TEST(FilterTest, CountMaskBitsPartialWord) {
+  uint64_t mask[2] = {~0ull, ~0ull};
+  EXPECT_EQ(CountMaskBits(mask, 128), 128u);
+  EXPECT_EQ(CountMaskBits(mask, 70), 70u);
+  EXPECT_EQ(CountMaskBits(mask, 64), 64u);
+  EXPECT_EQ(CountMaskBits(mask, 1), 1u);
+}
+
+TEST(FilterTest, AndMasks) {
+  uint64_t a[1] = {0b1100};
+  uint64_t b[1] = {0b1010};
+  uint64_t out[1];
+  AndMasks(a, b, 4, out);
+  EXPECT_EQ(out[0], 0b1000u);
+}
+
+TEST(JoinMaskTest, BasicIntersection) {
+  std::vector<int64_t> l = {1, 3, 5, 7, 9, 11};
+  std::vector<int64_t> r = {2, 3, 4, 7, 8, 11, 20};
+  uint64_t ml = 0, mr = 0;
+  size_t matches =
+      JoinMasksInt64(l.data(), l.size(), r.data(), r.size(), &ml, &mr);
+  EXPECT_EQ(matches, 3u);
+  EXPECT_EQ(ml, 0b101010u);  // 3, 7, 11 at l-indices 1, 3, 5
+  EXPECT_EQ(mr, 0b101010u);  // 3, 7, 11 at r-indices 1, 3, 5
+}
+
+TEST(JoinMaskTest, DisjointAndEmpty) {
+  std::vector<int64_t> l = {1, 2, 3};
+  std::vector<int64_t> r = {10, 20, 30};
+  uint64_t ml = ~0ull, mr = ~0ull;
+  EXPECT_EQ(JoinMasksInt64(l.data(), l.size(), r.data(), r.size(), &ml, &mr),
+            0u);
+  EXPECT_EQ(ml, 0u);
+  EXPECT_EQ(mr, 0u);
+  uint64_t m = 1;
+  EXPECT_EQ(JoinMasksInt64(l.data(), 0, r.data(), r.size(), &m, &mr), 0u);
+}
+
+TEST(JoinMaskTest, MatchesScalarReferenceOnRandomSets) {
+  std::mt19937_64 rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t nl = 100 + rng() % 2000;
+    size_t nr = 100 + rng() % 2000;
+    std::vector<int64_t> l, r;
+    int64_t t = 0;
+    for (size_t i = 0; i < nl; ++i) l.push_back(t += 1 + rng() % 4);
+    t = static_cast<int64_t>(rng() % 50);
+    for (size_t i = 0; i < nr; ++i) r.push_back(t += 1 + rng() % 4);
+    std::vector<uint64_t> ml(CeilDiv(nl, 64)), mr(CeilDiv(nr, 64));
+    size_t matches =
+        JoinMasksInt64(l.data(), nl, r.data(), nr, ml.data(), mr.data());
+    // Reference via sorted intersection.
+    std::vector<int64_t> expect;
+    std::set_intersection(l.begin(), l.end(), r.begin(), r.end(),
+                          std::back_inserter(expect));
+    EXPECT_EQ(matches, expect.size());
+    EXPECT_EQ(CountMaskBits(ml.data(), nl), expect.size());
+    EXPECT_EQ(CountMaskBits(mr.data(), nr), expect.size());
+    size_t e = 0;
+    for (size_t i = 0; i < nl; ++i) {
+      if (ml[i >> 6] & (1ull << (i & 63))) {
+        ASSERT_EQ(l[i], expect[e++]);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- agg
+
+TEST(AggTest, MaskedSumMatchesScalar) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2";
+  std::mt19937_64 rng(222);
+  for (size_t n : {1ul, 8ul, 100ul, 4096ul}) {
+    std::vector<int32_t> values(n);
+    std::vector<uint64_t> mask(CeilDiv(n, 64));
+    for (auto& v : values) v = static_cast<int32_t>(rng()) / 4;
+    for (auto& m : mask) m = rng();
+    EXPECT_EQ(MaskedSumInt32Avx2(values.data(), mask.data(), n),
+              MaskedSumInt32Scalar(values.data(), mask.data(), n))
+        << n;
+  }
+}
+
+TEST(AggTest, SumInt32LargeMagnitudes) {
+  std::vector<int32_t> values(100000, INT32_MAX);
+  int64_t expected = static_cast<int64_t>(INT32_MAX) * 100000;
+  EXPECT_EQ(SumInt32(values.data(), values.size()), expected);
+}
+
+TEST(AggTest, MaskedMinMax) {
+  std::vector<int32_t> values = {5, -3, 100, 42, -77, 8, 9, 10, 11};
+  uint64_t mask = 0b000011110;  // selects -3, 100, 42, -77
+  int32_t mn, mx;
+  ASSERT_TRUE(
+      MaskedMinMaxInt32(values.data(), &mask, values.size(), &mn, &mx));
+  EXPECT_EQ(mn, -77);
+  EXPECT_EQ(mx, 100);
+}
+
+TEST(AggTest, MaskedMinMaxEmptyMask) {
+  std::vector<int32_t> values = {1, 2, 3};
+  uint64_t mask = 0;
+  int32_t mn, mx;
+  EXPECT_FALSE(
+      MaskedMinMaxInt32(values.data(), &mask, values.size(), &mn, &mx));
+}
+
+TEST(AggTest, MinMaxUnmaskedMatchesScalar) {
+  std::mt19937_64 rng(555);
+  for (size_t n : {1ul, 2ul, 15ul, 16ul, 100ul, 4097ul}) {
+    std::vector<int32_t> values(n);
+    for (auto& v : values) v = static_cast<int32_t>(rng());
+    int32_t mn, mx;
+    MinMaxInt32(values.data(), n, &mn, &mx);
+    EXPECT_EQ(mn, *std::min_element(values.begin(), values.end())) << n;
+    EXPECT_EQ(mx, *std::max_element(values.begin(), values.end())) << n;
+  }
+}
+
+TEST(AggTest, WeightedRampSumMatchesScalar) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2";
+  std::mt19937_64 rng(333);
+  for (size_t n : {0ul, 1ul, 8ul, 77ul, 1000ul}) {
+    std::vector<int32_t> values(n);
+    for (auto& v : values) v = static_cast<int32_t>(rng() % 100000) - 50000;
+    EXPECT_EQ(WeightedRampSumInt32Avx2(values.data(), n),
+              WeightedRampSumInt32Scalar(values.data(), n))
+        << n;
+  }
+}
+
+TEST(AggTest, WeightedRampSumFormula) {
+  // sum (n - i) * v_i for v = [1, 1, 1], n=3: 3 + 2 + 1 = 6.
+  std::vector<int32_t> values = {1, 1, 1};
+  EXPECT_EQ(WeightedRampSumInt32(values.data(), 3), 6);
+}
+
+TEST(AggTest, CheckedSumDetectsOverflow) {
+  std::vector<int64_t> values = {INT64_MAX, 1};
+  int64_t out;
+  EXPECT_FALSE(CheckedSumInt64(values.data(), values.size(), &out));
+  std::vector<int64_t> ok = {INT64_MAX, -1, 1};
+  EXPECT_TRUE(CheckedSumInt64(ok.data(), 2, &out));
+  EXPECT_EQ(out, INT64_MAX - 1);
+  EXPECT_TRUE(CheckedSumInt64(ok.data() + 1, 2, &out));
+  EXPECT_EQ(out, 0);
+  std::vector<int64_t> wraps = {INT64_MIN, -1};
+  EXPECT_FALSE(CheckedSumInt64(wraps.data(), 2, &out));
+}
+
+// --------------------------------------------------------------- fib simd
+
+TEST(FibSimdTest, FindsTerminators) {
+  // Stream: 0101 1000 0110 0000 -> pairs end at bits 4? bits: 0,1,0,1,1,...
+  // positions:           0123456789...
+  std::vector<uint8_t> bytes = {0b01011000, 0b01100000};
+  auto terms = FindTerminators(bytes.data(), bytes.size(), 0, 16);
+  // Adjacent 1 pairs: bits (3,4) and (9,10) -> seconds at 4 and 10.
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], 4u);
+  EXPECT_EQ(terms[1], 10u);
+}
+
+TEST(FibSimdTest, FirstTerminatorRespectsRange) {
+  std::vector<uint8_t> bytes = {0b01011000, 0b01100000};
+  EXPECT_EQ(FindFirstTerminator(bytes.data(), bytes.size(), 0, 16), 4u);
+  EXPECT_EQ(FindFirstTerminator(bytes.data(), bytes.size(), 5, 16), 10u);
+  EXPECT_EQ(FindFirstTerminator(bytes.data(), bytes.size(), 11, 16),
+            SIZE_MAX);
+}
+
+TEST(FibSimdTest, CrossBytePair) {
+  // Bits 7 and 8 set: pair straddles the byte boundary.
+  std::vector<uint8_t> bytes = {0b00000001, 0b10000000};
+  auto terms = FindTerminators(bytes.data(), bytes.size(), 0, 16);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0], 8u);
+}
+
+TEST(FibSimdTest, CrossWordPair) {
+  // Pair at bits 63/64 (8-byte window boundary).
+  std::vector<uint8_t> bytes(16, 0);
+  bytes[7] = 0x01;
+  bytes[8] = 0x80;
+  auto terms = FindTerminators(bytes.data(), bytes.size(), 0, 128);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0], 64u);
+}
+
+TEST(FibSimdTest, MatchesEncodedStream) {
+  std::mt19937_64 rng(444);
+  BitWriter w;
+  std::vector<size_t> expected_ends;
+  for (int i = 0; i < 500; ++i) {
+    uint64_t v = rng() % 10000;
+    enc::FibonacciEncode(v, &w);
+    expected_ends.push_back(w.bit_count() - 1);
+  }
+  size_t total_bits = w.bit_count();
+  auto bytes = w.TakeBuffer();
+  auto terms = FindTerminators(bytes.data(), bytes.size(), 0, total_bits);
+  // Every true codeword end must be among the detected pairs (detection is
+  // a superset: adjacent codewords can create extra candidates).
+  size_t ti = 0;
+  for (size_t end : expected_ends) {
+    while (ti < terms.size() && terms[ti] < end) ++ti;
+    ASSERT_LT(ti, terms.size());
+    EXPECT_EQ(terms[ti], end);
+  }
+}
+
+}  // namespace
+}  // namespace etsqp::simd

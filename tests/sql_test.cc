@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace etsqp::sql {
+namespace {
+
+using exec::AggFunc;
+using exec::LogicalPlan;
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto tokens = Lex("SELECT SUM(v) FROM ts;");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  ASSERT_EQ(t.size(), 9u);  // incl. kEnd
+  EXPECT_EQ(t[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(t[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(t[1].text, "SUM");
+  EXPECT_EQ(t[2].kind, TokenKind::kLParen);
+  EXPECT_EQ(t[5].kind, TokenKind::kFrom);
+  EXPECT_EQ(t[7].kind, TokenKind::kSemicolon);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select from WHERE And sw UNION order BY time");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  EXPECT_EQ(t[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(t[1].kind, TokenKind::kFrom);
+  EXPECT_EQ(t[2].kind, TokenKind::kWhere);
+  EXPECT_EQ(t[3].kind, TokenKind::kAnd);
+  EXPECT_EQ(t[4].kind, TokenKind::kSw);
+  EXPECT_EQ(t[5].kind, TokenKind::kUnion);
+  EXPECT_EQ(t[6].kind, TokenKind::kOrder);
+  EXPECT_EQ(t[7].kind, TokenKind::kBy);
+  EXPECT_EQ(t[8].kind, TokenKind::kTime);
+}
+
+TEST(LexerTest, NumbersAndComparisons) {
+  auto tokens = Lex("time >= 100 AND value < -25");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  EXPECT_EQ(t[1].kind, TokenKind::kGe);
+  EXPECT_EQ(t[2].number, 100);
+  EXPECT_EQ(t[5].kind, TokenKind::kLt);
+  EXPECT_EQ(t[6].number, -25);
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Lex("SELECT @ FROM ts").ok());
+}
+
+TEST(ParserTest, Q1SlidingWindowSum) {
+  auto stmt = Parse("SELECT SUM(A) FROM ts SW(0, 1000);");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStatement& s = stmt.value();
+  EXPECT_EQ(s.item.kind, SelectItem::Kind::kAggregate);
+  EXPECT_EQ(s.item.func, "sum");
+  ASSERT_EQ(s.tables.size(), 1u);
+  EXPECT_EQ(s.tables[0], "ts");
+  EXPECT_TRUE(s.has_window);
+  EXPECT_EQ(s.window_t_min, 0);
+  EXPECT_EQ(s.window_delta_t, 1000);
+}
+
+TEST(ParserTest, Q3ValueFilter) {
+  auto stmt = Parse("SELECT SUM(A) FROM ts WHERE A > 42");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt.value().predicates.size(), 1u);
+  EXPECT_EQ(stmt.value().predicates[0].column, Comparison::Column::kValue);
+  EXPECT_EQ(stmt.value().predicates[0].op, Comparison::Op::kGt);
+  EXPECT_EQ(stmt.value().predicates[0].literal, 42);
+}
+
+TEST(ParserTest, TimeRangeConjunction) {
+  auto stmt =
+      Parse("SELECT AVG(v) FROM ts WHERE time >= 100 AND time <= 500;");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt.value().predicates.size(), 2u);
+  EXPECT_EQ(stmt.value().predicates[0].column, Comparison::Column::kTime);
+  EXPECT_EQ(stmt.value().predicates[1].op, Comparison::Op::kLe);
+}
+
+TEST(ParserTest, Q4BinaryProjection) {
+  auto stmt = Parse("SELECT ts1.A + ts2.A FROM ts1, ts2;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const SelectStatement& s = stmt.value();
+  EXPECT_EQ(s.item.kind, SelectItem::Kind::kBinary);
+  EXPECT_EQ(s.item.left_table, "ts1");
+  EXPECT_EQ(s.item.right_table, "ts2");
+  EXPECT_EQ(s.item.binary_op, '+');
+  ASSERT_EQ(s.tables.size(), 2u);
+}
+
+TEST(ParserTest, Q5Union) {
+  auto stmt = Parse("SELECT * FROM ts1 UNION ts2 ORDER BY TIME;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_TRUE(stmt.value().is_union);
+  EXPECT_EQ(stmt.value().tables[0], "ts1");
+  EXPECT_EQ(stmt.value().union_right, "ts2");
+}
+
+TEST(ParserTest, Q6Join) {
+  auto stmt = Parse("SELECT * FROM ts1, ts2;");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value().item.kind, SelectItem::Kind::kStar);
+  ASSERT_EQ(stmt.value().tables.size(), 2u);
+}
+
+TEST(ParserTest, DottedSeriesNames) {
+  auto stmt = Parse("SELECT SUM(v) FROM Sine.sine0 SW(0, 10000)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt.value().tables[0], "Sine.sine0");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("FROM ts").ok());
+  EXPECT_FALSE(Parse("SELECT SUM(A FROM ts").ok());
+  EXPECT_FALSE(Parse("SELECT SUM(A) FROM ts SW(0)").ok());
+  EXPECT_FALSE(Parse("SELECT SUM(A) FROM ts SW(0, 0)").ok());  // dt > 0
+  EXPECT_FALSE(Parse("SELECT SUM(A) FROM ts WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM ts1 UNION ts2").ok());  // ORDER BY TIME
+  EXPECT_FALSE(Parse("SELECT SUM(A) FROM ts extra").ok());
+}
+
+TEST(PlannerTest, AggregatePlan) {
+  auto plan = PlanQuery(
+      "SELECT AVG(v) FROM ts WHERE time >= 10 AND time < 100 SW(0, 50)");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const LogicalPlan& p = plan.value();
+  EXPECT_EQ(p.kind, LogicalPlan::Kind::kAggregate);
+  EXPECT_EQ(p.func, AggFunc::kAvg);
+  EXPECT_EQ(p.time_filter.lo, 10);
+  EXPECT_EQ(p.time_filter.hi, 99);  // < 100 folded to inclusive 99
+  EXPECT_TRUE(p.window.active);
+  EXPECT_EQ(p.window.delta_t, 50);
+}
+
+TEST(PlannerTest, ValueFilterPlan) {
+  auto plan = PlanQuery("SELECT SUM(v) FROM ts WHERE v > 5 AND v <= 20");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().value_filter.active);
+  EXPECT_EQ(plan.value().value_filter.lo, 6);
+  EXPECT_EQ(plan.value().value_filter.hi, 20);
+}
+
+TEST(PlannerTest, EqualityFolds) {
+  auto plan = PlanQuery("SELECT COUNT(v) FROM ts WHERE v = 7");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().value_filter.lo, 7);
+  EXPECT_EQ(plan.value().value_filter.hi, 7);
+}
+
+TEST(PlannerTest, AllAggregateNames) {
+  for (auto [name, func] :
+       std::vector<std::pair<const char*, AggFunc>>{
+           {"SUM", AggFunc::kSum},
+           {"AVG", AggFunc::kAvg},
+           {"COUNT", AggFunc::kCount},
+           {"MIN", AggFunc::kMin},
+           {"MAX", AggFunc::kMax},
+           {"VAR", AggFunc::kVariance}}) {
+    auto plan = PlanQuery(std::string("SELECT ") + name + "(v) FROM ts");
+    ASSERT_TRUE(plan.ok()) << name;
+    EXPECT_EQ(plan.value().func, func) << name;
+  }
+  EXPECT_FALSE(PlanQuery("SELECT MEDIAN(v) FROM ts").ok());
+}
+
+TEST(PlannerTest, CorrelatePlan) {
+  auto plan = PlanQuery("SELECT CORR(a.v, b.v) FROM a, b");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().kind, LogicalPlan::Kind::kCorrelate);
+  EXPECT_EQ(plan.value().series, "a");
+  EXPECT_EQ(plan.value().series_right, "b");
+  // Unqualified args are rejected.
+  EXPECT_FALSE(PlanQuery("SELECT CORR(x, y) FROM a, b").ok());
+}
+
+TEST(PlannerTest, InterColumnPredicate) {
+  auto plan = PlanQuery("SELECT * FROM a, b WHERE a.v > b.v");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().kind, LogicalPlan::Kind::kJoin);
+  EXPECT_EQ(plan.value().inter_column_op, '>');
+  // Swapped table order flips the operator.
+  auto swapped = PlanQuery("SELECT * FROM a, b WHERE b.v > a.v");
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped.value().inter_column_op, '<');
+  // Mixed with a pushed-down single-column predicate (Eq. 1 separation).
+  auto mixed = PlanQuery(
+      "SELECT * FROM a, b WHERE a.v > b.v AND time >= 100");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed.value().inter_column_op, '>');
+  EXPECT_EQ(mixed.value().time_filter.lo, 100);
+  // Unknown table and single-table FROM are rejected.
+  EXPECT_FALSE(PlanQuery("SELECT * FROM a, b WHERE c.v > b.v").ok());
+  EXPECT_FALSE(PlanQuery("SELECT * FROM a WHERE a.v > a.v").ok());
+}
+
+TEST(PlannerTest, UnionPlan) {
+  auto plan = PlanQuery("SELECT * FROM a UNION b ORDER BY TIME");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().kind, LogicalPlan::Kind::kUnion);
+  EXPECT_EQ(plan.value().series, "a");
+  EXPECT_EQ(plan.value().series_right, "b");
+}
+
+TEST(PlannerTest, JoinPlan) {
+  auto plan = PlanQuery("SELECT * FROM a, b");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().kind, LogicalPlan::Kind::kJoin);
+}
+
+TEST(PlannerTest, BinaryProjectionPlan) {
+  auto plan = PlanQuery("SELECT a.v - b.v FROM a, b");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().kind, LogicalPlan::Kind::kProjectBinary);
+  EXPECT_EQ(plan.value().binary_op, '-');
+  EXPECT_EQ(plan.value().series, "a");
+  EXPECT_EQ(plan.value().series_right, "b");
+}
+
+}  // namespace
+}  // namespace etsqp::sql

@@ -1,0 +1,153 @@
+// etsqp_cli — interactive SQL shell over a TsFile.
+//
+//   etsqp_cli --demo demo.tsfile     generate a demo TsFile (Table II data)
+//   etsqp_cli <file.tsfile>          open a TsFile and run SQL on it
+//
+// Inside the shell:
+//   .series              list series
+//   .stats               execution counters of the last query
+//   .mode simd|scalar    switch the engine (IoTDB-SIMD vs IoTDB)
+//   .threads N           worker threads
+//   SELECT ...;          any Table III dialect statement
+//   .quit
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "db/iotdb_lite.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace etsqp;
+
+int MakeDemo(const char* path) {
+  db::IotDbLite dbi;
+  for (const workload::Dataset& ds : workload::MakeAllDatasets(0.02)) {
+    storage::SeriesStore::SeriesOptions opt;
+    auto names = workload::LoadDataset(ds, opt, dbi.store());
+    if (!names.ok()) {
+      std::fprintf(stderr, "generate failed: %s\n",
+                   names.status().ToString().c_str());
+      return 1;
+    }
+  }
+  Status st = dbi.Save(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s — try: etsqp_cli %s\n", path, path);
+  return 0;
+}
+
+void PrintResult(const exec::QueryResult& qr, size_t max_rows = 20) {
+  for (const std::string& name : qr.column_names) {
+    std::printf("%-20s", name.c_str());
+  }
+  std::printf("\n");
+  size_t rows = qr.num_rows();
+  for (size_t r = 0; r < std::min(rows, max_rows); ++r) {
+    for (const auto& col : qr.columns) {
+      std::printf("%-20.6g", col[r]);
+    }
+    std::printf("\n");
+  }
+  if (rows > max_rows) {
+    std::printf("... (%zu rows total)\n", rows);
+  } else {
+    std::printf("(%zu rows)\n", rows);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--demo") == 0) {
+    return MakeDemo(argv[2]);
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <file.tsfile>\n"
+                 "       %s --demo <file.tsfile>\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  db::IotDbLite::Mode mode = db::IotDbLite::Mode::kSimd;
+  int threads = 2;
+  db::IotDbLite dbi(mode, threads);
+  Status st = dbi.Load(argv[1]);
+  if (!st.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("opened %s (%zu series). Type .series, SQL, or .quit\n",
+              argv[1], dbi.store()->SeriesNames().size());
+
+  exec::QueryStats last_stats;
+  char line[1024];
+  while (std::printf("etsqp> "), std::fflush(stdout),
+         std::fgets(line, sizeof(line), stdin) != nullptr) {
+    std::string cmd(line);
+    while (!cmd.empty() && (cmd.back() == '\n' || cmd.back() == ' ')) {
+      cmd.pop_back();
+    }
+    if (cmd.empty()) continue;
+    if (cmd == ".quit" || cmd == ".exit") break;
+    if (cmd == ".series") {
+      for (const std::string& name : dbi.store()->SeriesNames()) {
+        auto s = dbi.store()->GetSeries(name);
+        std::printf("  %-30s %10llu points %10llu bytes\n", name.c_str(),
+                    static_cast<unsigned long long>(
+                        s.value()->total_points),
+                    static_cast<unsigned long long>(
+                        dbi.store()->EncodedBytes(name)));
+      }
+      continue;
+    }
+    if (cmd == ".stats") {
+      std::printf(
+          "pages: %llu total, %llu pruned | blocks pruned: %llu |\n"
+          "tuples: %llu in pages, %llu scanned | bytes loaded: %llu\n",
+          static_cast<unsigned long long>(last_stats.pages_total),
+          static_cast<unsigned long long>(last_stats.pages_pruned),
+          static_cast<unsigned long long>(last_stats.blocks_pruned),
+          static_cast<unsigned long long>(last_stats.tuples_in_pages),
+          static_cast<unsigned long long>(last_stats.tuples_scanned),
+          static_cast<unsigned long long>(last_stats.bytes_loaded));
+      continue;
+    }
+    if (cmd.rfind(".mode", 0) == 0) {
+      mode = cmd.find("scalar") != std::string::npos
+                 ? db::IotDbLite::Mode::kScalar
+                 : db::IotDbLite::Mode::kSimd;
+      db::IotDbLite next(mode, threads);
+      Status reload = next.Load(argv[1]);
+      if (!reload.ok()) {
+        std::printf("reload failed: %s\n", reload.ToString().c_str());
+        continue;
+      }
+      dbi = std::move(next);
+      std::printf("engine: %s\n",
+                  mode == db::IotDbLite::Mode::kSimd ? "IoTDB-SIMD" : "IoTDB");
+      continue;
+    }
+    if (cmd.rfind(".threads", 0) == 0) {
+      threads = std::max(1, std::atoi(cmd.c_str() + 8));
+      db::IotDbLite next(mode, threads);
+      if (next.Load(argv[1]).ok()) dbi = std::move(next);
+      std::printf("threads: %d\n", threads);
+      continue;
+    }
+    auto result = dbi.Query(cmd);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(result.value());
+    last_stats = result.value().stats;
+  }
+  return 0;
+}
