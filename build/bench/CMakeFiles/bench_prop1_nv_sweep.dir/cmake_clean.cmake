@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop1_nv_sweep.dir/bench_prop1_nv_sweep.cc.o"
+  "CMakeFiles/bench_prop1_nv_sweep.dir/bench_prop1_nv_sweep.cc.o.d"
+  "bench_prop1_nv_sweep"
+  "bench_prop1_nv_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop1_nv_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_encoders.dir/bench_table1_encoders.cc.o"
+  "CMakeFiles/bench_table1_encoders.dir/bench_table1_encoders.cc.o.d"
+  "bench_table1_encoders"
+  "bench_table1_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

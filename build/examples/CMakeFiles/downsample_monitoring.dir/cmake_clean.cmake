@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/downsample_monitoring.dir/downsample_monitoring.cpp.o"
+  "CMakeFiles/downsample_monitoring.dir/downsample_monitoring.cpp.o.d"
+  "downsample_monitoring"
+  "downsample_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/downsample_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

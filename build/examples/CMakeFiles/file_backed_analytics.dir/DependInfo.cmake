@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/file_backed_analytics.cpp" "examples/CMakeFiles/file_backed_analytics.dir/file_backed_analytics.cpp.o" "gcc" "examples/CMakeFiles/file_backed_analytics.dir/file_backed_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/etsqp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

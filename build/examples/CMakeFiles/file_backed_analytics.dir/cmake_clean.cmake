@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_backed_analytics.dir/file_backed_analytics.cpp.o"
+  "CMakeFiles/file_backed_analytics.dir/file_backed_analytics.cpp.o.d"
+  "file_backed_analytics"
+  "file_backed_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_backed_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for file_backed_analytics.
+# This may be replaced when dependencies are built.

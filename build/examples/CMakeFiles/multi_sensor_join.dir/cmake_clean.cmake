@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sensor_join.dir/multi_sensor_join.cpp.o"
+  "CMakeFiles/multi_sensor_join.dir/multi_sensor_join.cpp.o.d"
+  "multi_sensor_join"
+  "multi_sensor_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sensor_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_baselines.dir/baselines/fastlanes_exec.cc.o"
+  "CMakeFiles/etsqp_baselines.dir/baselines/fastlanes_exec.cc.o.d"
+  "CMakeFiles/etsqp_baselines.dir/baselines/sboost.cc.o"
+  "CMakeFiles/etsqp_baselines.dir/baselines/sboost.cc.o.d"
+  "libetsqp_baselines.a"
+  "libetsqp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/aligned_buffer.cc" "src/CMakeFiles/etsqp_common.dir/common/aligned_buffer.cc.o" "gcc" "src/CMakeFiles/etsqp_common.dir/common/aligned_buffer.cc.o.d"
+  "/root/repo/src/common/bitstream.cc" "src/CMakeFiles/etsqp_common.dir/common/bitstream.cc.o" "gcc" "src/CMakeFiles/etsqp_common.dir/common/bitstream.cc.o.d"
+  "/root/repo/src/common/cpu.cc" "src/CMakeFiles/etsqp_common.dir/common/cpu.cc.o" "gcc" "src/CMakeFiles/etsqp_common.dir/common/cpu.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/etsqp_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/etsqp_common.dir/common/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

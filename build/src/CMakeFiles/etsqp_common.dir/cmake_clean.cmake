@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_common.dir/common/aligned_buffer.cc.o"
+  "CMakeFiles/etsqp_common.dir/common/aligned_buffer.cc.o.d"
+  "CMakeFiles/etsqp_common.dir/common/bitstream.cc.o"
+  "CMakeFiles/etsqp_common.dir/common/bitstream.cc.o.d"
+  "CMakeFiles/etsqp_common.dir/common/cpu.cc.o"
+  "CMakeFiles/etsqp_common.dir/common/cpu.cc.o.d"
+  "CMakeFiles/etsqp_common.dir/common/status.cc.o"
+  "CMakeFiles/etsqp_common.dir/common/status.cc.o.d"
+  "libetsqp_common.a"
+  "libetsqp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libetsqp_common.a"
+)

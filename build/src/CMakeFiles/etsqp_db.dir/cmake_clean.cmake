@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_db.dir/db/block_engine.cc.o"
+  "CMakeFiles/etsqp_db.dir/db/block_engine.cc.o.d"
+  "CMakeFiles/etsqp_db.dir/db/iotdb_lite.cc.o"
+  "CMakeFiles/etsqp_db.dir/db/iotdb_lite.cc.o.d"
+  "CMakeFiles/etsqp_db.dir/db/row_engine.cc.o"
+  "CMakeFiles/etsqp_db.dir/db/row_engine.cc.o.d"
+  "libetsqp_db.a"
+  "libetsqp_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

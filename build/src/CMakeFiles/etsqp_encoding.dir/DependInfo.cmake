@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/bitpack.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/bitpack.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/bitpack.cc.o.d"
+  "/root/repo/src/encoding/chimp.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/chimp.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/chimp.cc.o.d"
+  "/root/repo/src/encoding/delta_rle.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/delta_rle.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/delta_rle.cc.o.d"
+  "/root/repo/src/encoding/elf.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/elf.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/elf.cc.o.d"
+  "/root/repo/src/encoding/fastlanes.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/fastlanes.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/fastlanes.cc.o.d"
+  "/root/repo/src/encoding/fibonacci.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/fibonacci.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/fibonacci.cc.o.d"
+  "/root/repo/src/encoding/generic_compress.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/generic_compress.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/generic_compress.cc.o.d"
+  "/root/repo/src/encoding/gorilla.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/gorilla.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/gorilla.cc.o.d"
+  "/root/repo/src/encoding/rlbe.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/rlbe.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/rlbe.cc.o.d"
+  "/root/repo/src/encoding/rle.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/rle.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/rle.cc.o.d"
+  "/root/repo/src/encoding/sprintz.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/sprintz.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/sprintz.cc.o.d"
+  "/root/repo/src/encoding/ts2diff.cc" "src/CMakeFiles/etsqp_encoding.dir/encoding/ts2diff.cc.o" "gcc" "src/CMakeFiles/etsqp_encoding.dir/encoding/ts2diff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/etsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

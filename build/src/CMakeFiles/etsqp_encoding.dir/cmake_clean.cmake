@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_encoding.dir/encoding/bitpack.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/bitpack.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/chimp.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/chimp.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/delta_rle.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/delta_rle.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/elf.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/elf.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/fastlanes.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/fastlanes.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/fibonacci.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/fibonacci.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/generic_compress.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/generic_compress.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/gorilla.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/gorilla.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/rlbe.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/rlbe.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/rle.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/rle.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/sprintz.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/sprintz.cc.o.d"
+  "CMakeFiles/etsqp_encoding.dir/encoding/ts2diff.cc.o"
+  "CMakeFiles/etsqp_encoding.dir/encoding/ts2diff.cc.o.d"
+  "libetsqp_encoding.a"
+  "libetsqp_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

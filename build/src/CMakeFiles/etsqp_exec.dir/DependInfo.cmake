@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/column_decoder.cc" "src/CMakeFiles/etsqp_exec.dir/exec/column_decoder.cc.o" "gcc" "src/CMakeFiles/etsqp_exec.dir/exec/column_decoder.cc.o.d"
+  "/root/repo/src/exec/cost_model.cc" "src/CMakeFiles/etsqp_exec.dir/exec/cost_model.cc.o" "gcc" "src/CMakeFiles/etsqp_exec.dir/exec/cost_model.cc.o.d"
+  "/root/repo/src/exec/engine.cc" "src/CMakeFiles/etsqp_exec.dir/exec/engine.cc.o" "gcc" "src/CMakeFiles/etsqp_exec.dir/exec/engine.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/CMakeFiles/etsqp_exec.dir/exec/expr.cc.o" "gcc" "src/CMakeFiles/etsqp_exec.dir/exec/expr.cc.o.d"
+  "/root/repo/src/exec/fusion.cc" "src/CMakeFiles/etsqp_exec.dir/exec/fusion.cc.o" "gcc" "src/CMakeFiles/etsqp_exec.dir/exec/fusion.cc.o.d"
+  "/root/repo/src/exec/pipe_builder.cc" "src/CMakeFiles/etsqp_exec.dir/exec/pipe_builder.cc.o" "gcc" "src/CMakeFiles/etsqp_exec.dir/exec/pipe_builder.cc.o.d"
+  "/root/repo/src/exec/pipeline.cc" "src/CMakeFiles/etsqp_exec.dir/exec/pipeline.cc.o" "gcc" "src/CMakeFiles/etsqp_exec.dir/exec/pipeline.cc.o.d"
+  "/root/repo/src/exec/pruning.cc" "src/CMakeFiles/etsqp_exec.dir/exec/pruning.cc.o" "gcc" "src/CMakeFiles/etsqp_exec.dir/exec/pruning.cc.o.d"
+  "/root/repo/src/exec/scheduler.cc" "src/CMakeFiles/etsqp_exec.dir/exec/scheduler.cc.o" "gcc" "src/CMakeFiles/etsqp_exec.dir/exec/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/etsqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

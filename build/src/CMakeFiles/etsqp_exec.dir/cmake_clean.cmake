@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_exec.dir/exec/column_decoder.cc.o"
+  "CMakeFiles/etsqp_exec.dir/exec/column_decoder.cc.o.d"
+  "CMakeFiles/etsqp_exec.dir/exec/cost_model.cc.o"
+  "CMakeFiles/etsqp_exec.dir/exec/cost_model.cc.o.d"
+  "CMakeFiles/etsqp_exec.dir/exec/engine.cc.o"
+  "CMakeFiles/etsqp_exec.dir/exec/engine.cc.o.d"
+  "CMakeFiles/etsqp_exec.dir/exec/expr.cc.o"
+  "CMakeFiles/etsqp_exec.dir/exec/expr.cc.o.d"
+  "CMakeFiles/etsqp_exec.dir/exec/fusion.cc.o"
+  "CMakeFiles/etsqp_exec.dir/exec/fusion.cc.o.d"
+  "CMakeFiles/etsqp_exec.dir/exec/pipe_builder.cc.o"
+  "CMakeFiles/etsqp_exec.dir/exec/pipe_builder.cc.o.d"
+  "CMakeFiles/etsqp_exec.dir/exec/pipeline.cc.o"
+  "CMakeFiles/etsqp_exec.dir/exec/pipeline.cc.o.d"
+  "CMakeFiles/etsqp_exec.dir/exec/pruning.cc.o"
+  "CMakeFiles/etsqp_exec.dir/exec/pruning.cc.o.d"
+  "CMakeFiles/etsqp_exec.dir/exec/scheduler.cc.o"
+  "CMakeFiles/etsqp_exec.dir/exec/scheduler.cc.o.d"
+  "libetsqp_exec.a"
+  "libetsqp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_sim.dir/sim/sched_sim.cc.o"
+  "CMakeFiles/etsqp_sim.dir/sim/sched_sim.cc.o.d"
+  "libetsqp_sim.a"
+  "libetsqp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

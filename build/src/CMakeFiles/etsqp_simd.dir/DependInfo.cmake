@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simd/agg_simd.cc" "src/CMakeFiles/etsqp_simd.dir/simd/agg_simd.cc.o" "gcc" "src/CMakeFiles/etsqp_simd.dir/simd/agg_simd.cc.o.d"
+  "/root/repo/src/simd/delta_simd.cc" "src/CMakeFiles/etsqp_simd.dir/simd/delta_simd.cc.o" "gcc" "src/CMakeFiles/etsqp_simd.dir/simd/delta_simd.cc.o.d"
+  "/root/repo/src/simd/fib_simd.cc" "src/CMakeFiles/etsqp_simd.dir/simd/fib_simd.cc.o" "gcc" "src/CMakeFiles/etsqp_simd.dir/simd/fib_simd.cc.o.d"
+  "/root/repo/src/simd/filter_simd.cc" "src/CMakeFiles/etsqp_simd.dir/simd/filter_simd.cc.o" "gcc" "src/CMakeFiles/etsqp_simd.dir/simd/filter_simd.cc.o.d"
+  "/root/repo/src/simd/rle_flatten.cc" "src/CMakeFiles/etsqp_simd.dir/simd/rle_flatten.cc.o" "gcc" "src/CMakeFiles/etsqp_simd.dir/simd/rle_flatten.cc.o.d"
+  "/root/repo/src/simd/transposed_unpack.cc" "src/CMakeFiles/etsqp_simd.dir/simd/transposed_unpack.cc.o" "gcc" "src/CMakeFiles/etsqp_simd.dir/simd/transposed_unpack.cc.o.d"
+  "/root/repo/src/simd/transposed_unpack_avx512.cc" "src/CMakeFiles/etsqp_simd.dir/simd/transposed_unpack_avx512.cc.o" "gcc" "src/CMakeFiles/etsqp_simd.dir/simd/transposed_unpack_avx512.cc.o.d"
+  "/root/repo/src/simd/unpack.cc" "src/CMakeFiles/etsqp_simd.dir/simd/unpack.cc.o" "gcc" "src/CMakeFiles/etsqp_simd.dir/simd/unpack.cc.o.d"
+  "/root/repo/src/simd/unpack_plan.cc" "src/CMakeFiles/etsqp_simd.dir/simd/unpack_plan.cc.o" "gcc" "src/CMakeFiles/etsqp_simd.dir/simd/unpack_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/etsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

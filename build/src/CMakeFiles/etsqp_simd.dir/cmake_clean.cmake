@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_simd.dir/simd/agg_simd.cc.o"
+  "CMakeFiles/etsqp_simd.dir/simd/agg_simd.cc.o.d"
+  "CMakeFiles/etsqp_simd.dir/simd/delta_simd.cc.o"
+  "CMakeFiles/etsqp_simd.dir/simd/delta_simd.cc.o.d"
+  "CMakeFiles/etsqp_simd.dir/simd/fib_simd.cc.o"
+  "CMakeFiles/etsqp_simd.dir/simd/fib_simd.cc.o.d"
+  "CMakeFiles/etsqp_simd.dir/simd/filter_simd.cc.o"
+  "CMakeFiles/etsqp_simd.dir/simd/filter_simd.cc.o.d"
+  "CMakeFiles/etsqp_simd.dir/simd/rle_flatten.cc.o"
+  "CMakeFiles/etsqp_simd.dir/simd/rle_flatten.cc.o.d"
+  "CMakeFiles/etsqp_simd.dir/simd/transposed_unpack.cc.o"
+  "CMakeFiles/etsqp_simd.dir/simd/transposed_unpack.cc.o.d"
+  "CMakeFiles/etsqp_simd.dir/simd/transposed_unpack_avx512.cc.o"
+  "CMakeFiles/etsqp_simd.dir/simd/transposed_unpack_avx512.cc.o.d"
+  "CMakeFiles/etsqp_simd.dir/simd/unpack.cc.o"
+  "CMakeFiles/etsqp_simd.dir/simd/unpack.cc.o.d"
+  "CMakeFiles/etsqp_simd.dir/simd/unpack_plan.cc.o"
+  "CMakeFiles/etsqp_simd.dir/simd/unpack_plan.cc.o.d"
+  "libetsqp_simd.a"
+  "libetsqp_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

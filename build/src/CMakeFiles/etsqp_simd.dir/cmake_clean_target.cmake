@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libetsqp_simd.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/etsqp_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/etsqp_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/etsqp_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/etsqp_sql.dir/sql/planner.cc.o"
+  "CMakeFiles/etsqp_sql.dir/sql/planner.cc.o.d"
+  "libetsqp_sql.a"
+  "libetsqp_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

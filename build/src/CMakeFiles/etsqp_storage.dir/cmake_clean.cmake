@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_storage.dir/storage/buffer_manager.cc.o"
+  "CMakeFiles/etsqp_storage.dir/storage/buffer_manager.cc.o.d"
+  "CMakeFiles/etsqp_storage.dir/storage/page.cc.o"
+  "CMakeFiles/etsqp_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/etsqp_storage.dir/storage/page_builder.cc.o"
+  "CMakeFiles/etsqp_storage.dir/storage/page_builder.cc.o.d"
+  "CMakeFiles/etsqp_storage.dir/storage/series_store.cc.o"
+  "CMakeFiles/etsqp_storage.dir/storage/series_store.cc.o.d"
+  "CMakeFiles/etsqp_storage.dir/storage/tsfile.cc.o"
+  "CMakeFiles/etsqp_storage.dir/storage/tsfile.cc.o.d"
+  "libetsqp_storage.a"
+  "libetsqp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

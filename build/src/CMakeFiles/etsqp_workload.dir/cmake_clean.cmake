@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/etsqp_workload.dir/workload/generators.cc.o.d"
+  "libetsqp_workload.a"
+  "libetsqp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

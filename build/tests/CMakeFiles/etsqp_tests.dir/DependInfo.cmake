@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/etsqp_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/encoding_test.cc" "tests/CMakeFiles/etsqp_tests.dir/encoding_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/encoding_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/etsqp_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/etsqp_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/float_encoders_test.cc" "tests/CMakeFiles/etsqp_tests.dir/float_encoders_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/float_encoders_test.cc.o.d"
+  "/root/repo/tests/pipeline_edge_test.cc" "tests/CMakeFiles/etsqp_tests.dir/pipeline_edge_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/pipeline_edge_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/etsqp_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/simd_test.cc" "tests/CMakeFiles/etsqp_tests.dir/simd_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/simd_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/etsqp_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/etsqp_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/system_test.cc" "tests/CMakeFiles/etsqp_tests.dir/system_test.cc.o" "gcc" "tests/CMakeFiles/etsqp_tests.dir/system_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/etsqp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/etsqp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

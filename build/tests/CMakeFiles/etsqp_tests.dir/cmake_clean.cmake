@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_tests.dir/common_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/etsqp_tests.dir/encoding_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/encoding_test.cc.o.d"
+  "CMakeFiles/etsqp_tests.dir/engine_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/engine_test.cc.o.d"
+  "CMakeFiles/etsqp_tests.dir/exec_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/exec_test.cc.o.d"
+  "CMakeFiles/etsqp_tests.dir/float_encoders_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/float_encoders_test.cc.o.d"
+  "CMakeFiles/etsqp_tests.dir/pipeline_edge_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/pipeline_edge_test.cc.o.d"
+  "CMakeFiles/etsqp_tests.dir/robustness_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/robustness_test.cc.o.d"
+  "CMakeFiles/etsqp_tests.dir/simd_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/simd_test.cc.o.d"
+  "CMakeFiles/etsqp_tests.dir/sql_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/sql_test.cc.o.d"
+  "CMakeFiles/etsqp_tests.dir/storage_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/storage_test.cc.o.d"
+  "CMakeFiles/etsqp_tests.dir/system_test.cc.o"
+  "CMakeFiles/etsqp_tests.dir/system_test.cc.o.d"
+  "etsqp_tests"
+  "etsqp_tests.pdb"
+  "etsqp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsqp_cli.dir/etsqp_cli.cc.o"
+  "CMakeFiles/etsqp_cli.dir/etsqp_cli.cc.o.d"
+  "etsqp_cli"
+  "etsqp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsqp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
