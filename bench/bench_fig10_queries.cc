@@ -102,11 +102,11 @@ int main() {
     bool fastlanes_store;
   };
   std::vector<EngineSpec> engines = {
-      {"ETSQP", exec::EtsqpOptions(1), false},
-      {"ETSQP-prune", exec::EtsqpPruneOptions(1), false},
-      {"Serial", exec::SerialOptions(), false},
-      {"FastLanes", exec::FastLanesOptions(1), true},
-      {"SBoost", exec::SboostOptions(1), false},
+      {"ETSQP", exec::PipelineOptions::Etsqp(1), false},
+      {"ETSQP-prune", exec::PipelineOptions::EtsqpPrune(1), false},
+      {"Serial", exec::PipelineOptions::Serial(), false},
+      {"FastLanes", exec::PipelineOptions::FastLanes(1), true},
+      {"SBoost", exec::PipelineOptions::Sboost(1), false},
   };
 
   for (int q = 1; q <= 6; ++q) {
@@ -136,6 +136,8 @@ int main() {
             },
             0.05, 7);
         PrintCell(bench::Throughput(stats, secs));
+        bench::ExportJson("fig10_q" + std::to_string(q),
+                          f.data.name + "/" + spec.name, secs, stats);
       }
       EndRow();
     }

@@ -71,11 +71,11 @@ int main() {
     size_t tuples = ds.rows();
 
     std::vector<double> etsqp_costs =
-        MeasurePageCosts(ts_store, series, exec::EtsqpOptions(1));
+        MeasurePageCosts(ts_store, series, exec::PipelineOptions::Etsqp(1));
     std::vector<double> sboost_costs =
-        MeasurePageCosts(ts_store, series, exec::SboostOptions(1));
+        MeasurePageCosts(ts_store, series, exec::PipelineOptions::Sboost(1));
     std::vector<double> fl_costs =
-        MeasurePageCosts(fl_store, series, exec::FastLanesOptions(1));
+        MeasurePageCosts(fl_store, series, exec::PipelineOptions::FastLanes(1));
 
     PrintHeader(std::string("Figure 11 (") + which +
                     "): throughput (tuples/s) vs thread count",

@@ -133,8 +133,8 @@ int main() {
       }
       return costs;
     };
-    std::vector<double> etsqp_costs = page_costs(exec::EtsqpOptions(1));
-    std::vector<double> sboost_costs = page_costs(exec::SboostOptions(1));
+    std::vector<double> etsqp_costs = page_costs(exec::PipelineOptions::Etsqp(1));
+    std::vector<double> sboost_costs = page_costs(exec::PipelineOptions::Sboost(1));
 
     PrintHeader(std::string("Figure 12(a-b) Delta-only, ") + label +
                     ": tuples/s vs threads",
@@ -169,9 +169,9 @@ int main() {
     // FastLanes also needs its time column in FLMM layout.
     exec::LogicalPlan plan = HalfRangePlan(d);
     PrintCell(static_cast<double>(run));
-    PrintCell(MeasureThroughput(dr, exec::EtsqpOptions(1), plan));
-    PrintCell(MeasureThroughput(dr, exec::SboostOptions(1), plan));
-    PrintCell(MeasureThroughput(fl, exec::FastLanesOptions(1), plan));
+    PrintCell(MeasureThroughput(dr, exec::PipelineOptions::Etsqp(1), plan));
+    PrintCell(MeasureThroughput(dr, exec::PipelineOptions::Sboost(1), plan));
+    PrintCell(MeasureThroughput(fl, exec::PipelineOptions::FastLanes(1), plan));
     EndRow();
   }
 
@@ -191,10 +191,10 @@ int main() {
     plan.value_filter.active = true;
     plan.value_filter.lo = d.values[d.values.size() / 2];  // upper half only
     PrintCell(static_cast<double>(width));
-    PrintCell(MeasureThroughput(dr, exec::EtsqpOptions(1), plan));
-    PrintCell(MeasureThroughput(dr, exec::EtsqpPruneOptions(1), plan));
-    PrintCell(MeasureThroughput(dr, exec::SboostOptions(1), plan));
-    PrintCell(MeasureThroughput(fl, exec::FastLanesOptions(1), plan));
+    PrintCell(MeasureThroughput(dr, exec::PipelineOptions::Etsqp(1), plan));
+    PrintCell(MeasureThroughput(dr, exec::PipelineOptions::EtsqpPrune(1), plan));
+    PrintCell(MeasureThroughput(dr, exec::PipelineOptions::Sboost(1), plan));
+    PrintCell(MeasureThroughput(fl, exec::PipelineOptions::FastLanes(1), plan));
     EndRow();
   }
 

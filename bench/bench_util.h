@@ -59,6 +59,23 @@ inline double BenchScale() {
   return v > 0 ? v : 1.0;
 }
 
+/// Machine-readable result export: when ETSQP_BENCH_JSON names a file, each
+/// call appends one JSON line with the timing and the full ExecStats object
+/// (counters plus the per-stage breakdown when collected). No-op otherwise.
+inline void ExportJson(const std::string& bench, const std::string& case_name,
+                       double seconds, const exec::ExecStats& stats) {
+  const char* path = std::getenv("ETSQP_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"bench\": \"%s\", \"case\": \"%s\", \"seconds\": %.9f, "
+               "\"tuples_per_sec\": %.3f, \"stats\": %s}\n",
+               bench.c_str(), case_name.c_str(), seconds,
+               Throughput(stats, seconds), stats.ToJson().c_str());
+  std::fclose(f);
+}
+
 /// Fixed-width table printing.
 inline void PrintHeader(const std::string& title,
                         const std::vector<std::string>& cols) {

@@ -1,14 +1,15 @@
 // Querying data that does not fit in memory: the Section VI-C workflow.
-// A TsFile is opened header-only; queries prune pages from the statistics
-// and stream the surviving payloads through an LRU buffer pool.
+// A TsFile is attached header-only through IotDbLite::OpenFile; SQL queries
+// prune pages from the statistics and stream the surviving payloads through
+// an LRU buffer pool.
 //
 //   build/examples/file_backed_analytics
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "exec/engine.h"
-#include "storage/buffer_manager.h"
+#include "db/iotdb_lite.h"
 #include "storage/tsfile.h"
 #include "workload/generators.h"
 
@@ -24,34 +25,33 @@ int main() {
     if (!storage::WriteTsFile(store, path).ok()) return 1;
   }
 
-  // Open with a deliberately tiny buffer pool: pages must stream.
-  storage::FileBackedStore fbs;
-  storage::FileBackedStore::Options opt;
-  opt.memory_budget_bytes = 64 << 10;  // 64 KiB — far below the encoded size
-  if (!fbs.Open(path, opt).ok()) return 1;
+  // Attach with a deliberately tiny buffer pool: pages must stream.
+  db::IotDbLite dbi(db::IotDbLite::Mode::kSimd, 2);
+  if (!dbi.OpenFile(path, 64 << 10).ok()) return 1;  // 64 KiB budget
 
-  auto index = fbs.GetSeries("Time.event_time");
+  auto index = dbi.file_store()->GetSeries("Time.event_time");
   if (!index.ok()) return 1;
   std::printf("indexed %zu pages (%llu points) — loaded payloads so far: "
               "%llu\n",
               index.value()->pages.size(),
               static_cast<unsigned long long>(index.value()->total_points),
-              static_cast<unsigned long long>(fbs.stats().pages_loaded));
-
-  exec::Engine engine(exec::EtsqpPruneOptions(2));
+              static_cast<unsigned long long>(
+                  dbi.file_store()->stats().pages_loaded));
 
   // A narrow time-range query: header pruning keeps most pages on disk.
   int64_t t0 = index.value()->pages[100].header.min_time;
   int64_t t1 = index.value()->pages[104].header.max_time;
-  exec::LogicalPlan plan =
-      exec::LogicalPlan::Aggregate("Time.event_time", exec::AggFunc::kAvg);
-  plan.time_filter = exec::TimeRange{t0, t1};
-  auto result = engine.ExecuteOnFile(plan, &fbs);
+  char sql[256];
+  std::snprintf(sql, sizeof(sql),
+                "SELECT AVG(v) FROM Time.event_time WHERE TIME >= %lld AND "
+                "TIME <= %lld",
+                static_cast<long long>(t0), static_cast<long long>(t1));
+  auto result = dbi.Query(sql);
   if (!result.ok()) {
     std::printf("query failed: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  auto st = fbs.stats();
+  auto st = dbi.file_store()->stats();
   std::printf(
       "narrow AVG=%.1f | pages: %llu pruned of %llu, %llu fetched | pool "
       "resident %zu KiB\n",
@@ -61,13 +61,16 @@ int main() {
       static_cast<unsigned long long>(st.pages_loaded),
       st.resident_bytes >> 10);
 
+  // EXPLAIN shows the pruning decision without fetching a single payload.
+  auto plan = dbi.Query(std::string("EXPLAIN ") + sql);
+  if (!plan.ok()) return 1;
+  std::printf("\n%s\n", plan.value().explain_text.c_str());
+
   // A full scan: every page streams through the pool, evicting under the
   // budget — memory stays bounded regardless of file size.
-  exec::LogicalPlan scan =
-      exec::LogicalPlan::Aggregate("Time.event_time", exec::AggFunc::kSum);
-  auto full = engine.ExecuteOnFile(scan, &fbs);
+  auto full = dbi.Query("SELECT SUM(v) FROM Time.event_time");
   if (!full.ok()) return 1;
-  st = fbs.stats();
+  st = dbi.file_store()->stats();
   std::printf(
       "full SUM=%.6g | fetched %llu, pool hits %llu, evicted %llu | pool "
       "resident %zu KiB (budget %zu KiB)\n",
@@ -75,7 +78,7 @@ int main() {
       static_cast<unsigned long long>(st.pages_loaded),
       static_cast<unsigned long long>(st.pool_hits),
       static_cast<unsigned long long>(st.pages_evicted),
-      st.resident_bytes >> 10, opt.memory_budget_bytes >> 10);
+      st.resident_bytes >> 10, static_cast<size_t>(64 << 10) >> 10);
 
   std::remove(path.c_str());
   return 0;

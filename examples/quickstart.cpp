@@ -67,5 +67,12 @@ int main() {
       static_cast<unsigned long long>(windows.value().stats.tuples_in_pages),
       static_cast<unsigned long long>(windows.value().stats.tuples_scanned),
       static_cast<unsigned long long>(windows.value().stats.pages_pruned));
+
+  // EXPLAIN ANALYZE: the compiled Pipe plan plus the measured per-stage
+  // profile (unpack/delta/filter/aggregate/merge times, tuples, bytes).
+  auto explained = dbi.Query(
+      "EXPLAIN ANALYZE SELECT SUM(v) FROM velocity WHERE v >= 100");
+  if (!explained.ok()) return 1;
+  std::printf("\n%s", explained.value().explain_text.c_str());
   return 0;
 }

@@ -1,0 +1,23 @@
+#include "common/metrics.h"
+
+namespace etsqp::metrics {
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kPageFetch:
+      return "page_fetch";
+    case Stage::kUnpack:
+      return "unpack";
+    case Stage::kDelta:
+      return "delta";
+    case Stage::kFilter:
+      return "filter";
+    case Stage::kAggregate:
+      return "aggregate";
+    case Stage::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+}  // namespace etsqp::metrics

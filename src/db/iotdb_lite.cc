@@ -12,18 +12,51 @@ namespace etsqp::db {
 
 namespace {
 
-exec::PipelineOptions ModeOptions(IotDbLite::Mode mode, int threads) {
-  if (mode == IotDbLite::Mode::kScalar) {
-    return exec::SerialOptions();
-  }
-  exec::PipelineOptions o = exec::EtsqpPruneOptions(threads);
-  return o;
+exec::PipelineOptions ModeOptions(IotDbLite::Mode mode, int threads,
+                                  bool collect_stats) {
+  exec::PipelineOptions o = mode == IotDbLite::Mode::kScalar
+                                ? exec::PipelineOptions::Serial()
+                                : exec::PipelineOptions::EtsqpPrune(threads);
+  return o.WithStats(collect_stats);
 }
 
 }  // namespace
 
 IotDbLite::IotDbLite(Mode mode, int threads)
-    : engine_(ModeOptions(mode, threads)) {}
+    : mode_(mode),
+      threads_(mode == Mode::kScalar ? 1 : threads),
+      engine_(ModeOptions(mode, threads, false)) {}
+
+void IotDbLite::RebuildEngine() {
+  engine_ = exec::Engine(ModeOptions(mode_, threads_, collect_stats_));
+}
+
+void IotDbLite::SetMode(Mode mode) {
+  mode_ = mode;
+  RebuildEngine();
+}
+
+void IotDbLite::SetThreads(int threads) {
+  threads_ = threads > 0 ? threads : 1;
+  RebuildEngine();
+}
+
+void IotDbLite::SetCollectStats(bool on) {
+  collect_stats_ = on;
+  RebuildEngine();
+}
+
+Status IotDbLite::OpenFile(const std::string& path,
+                           size_t memory_budget_bytes) {
+  auto store = std::make_unique<storage::FileBackedStore>();
+  storage::FileBackedStore::Options options;
+  options.memory_budget_bytes = memory_budget_bytes;
+  ETSQP_RETURN_IF_ERROR(store->Open(path, options));
+  file_store_ = std::move(store);
+  return Status::Ok();
+}
+
+void IotDbLite::CloseFile() { file_store_.reset(); }
 
 Status IotDbLite::CreateTimeseries(const std::string& name,
                                    uint32_t page_size) {
@@ -140,7 +173,10 @@ Status IotDbLite::ExportCsv(const std::string& series,
 Result<exec::QueryResult> IotDbLite::Query(const std::string& sql) const {
   Result<exec::LogicalPlan> plan = sql::PlanQuery(sql);
   if (!plan.ok()) return plan.status();
-  return engine_.Execute(plan.value(), store_);
+  exec::StoreHandle handle =
+      file_store_ != nullptr ? exec::StoreHandle(file_store_.get())
+                             : exec::StoreHandle(store_);
+  return engine_.Execute(plan.value(), handle);
 }
 
 }  // namespace etsqp::db

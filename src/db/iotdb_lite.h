@@ -1,10 +1,12 @@
 #ifndef ETSQP_DB_IOTDB_LITE_H_
 #define ETSQP_DB_IOTDB_LITE_H_
 
+#include <memory>
 #include <string>
 
 #include "common/status.h"
 #include "exec/engine.h"
+#include "storage/buffer_manager.h"
 #include "storage/series_store.h"
 
 namespace etsqp::db {
@@ -44,12 +46,37 @@ class IotDbLite {
                         const double* values, size_t n);
   Status Flush();
 
-  /// Parses and executes one SQL statement (Table III dialect).
+  /// Parses and executes one SQL statement (Table III dialect, plus the
+  /// EXPLAIN [ANALYZE] prefix). Runs against the file-backed store when one
+  /// is attached (OpenFile), otherwise against the in-memory store.
   Result<exec::QueryResult> Query(const std::string& sql) const;
+
+  /// Reconfigure the engine without rebuilding the database. Existing data
+  /// (in-memory series, attached file store) is untouched.
+  void SetMode(Mode mode);
+  void SetThreads(int threads);
+  /// Per-stage ExecStats collection for subsequent queries (EXPLAIN ANALYZE
+  /// forces it on for its own run regardless).
+  void SetCollectStats(bool on);
+
+  Mode mode() const { return mode_; }
+  int threads() const { return threads_; }
+  bool collect_stats() const { return collect_stats_; }
 
   /// Persists all (flushed) series to a TsFile / loads one written earlier.
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
+
+  /// Attaches a TsFile through the LRU buffer pool (Section VI-C gradual
+  /// page loading) instead of loading it whole: only page headers become
+  /// resident; Query streams surviving pages on demand. Aggregations only.
+  Status OpenFile(const std::string& path,
+                  size_t memory_budget_bytes = 64 << 20);
+  /// Detaches the file store; Query returns to the in-memory store.
+  void CloseFile();
+  const storage::FileBackedStore* file_store() const {
+    return file_store_.get();
+  }
 
   /// CSV interchange. Import expects a header line `time,value` (or none)
   /// and rows `<int64 time>,<int64 value>`; rows must be time-ordered. The
@@ -62,7 +89,13 @@ class IotDbLite {
   const exec::Engine& engine() const { return engine_; }
 
  private:
+  void RebuildEngine();
+
+  Mode mode_ = Mode::kSimd;
+  int threads_ = 1;
+  bool collect_stats_ = false;
   storage::SeriesStore store_;
+  std::unique_ptr<storage::FileBackedStore> file_store_;
   exec::Engine engine_;
 };
 

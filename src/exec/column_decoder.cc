@@ -156,7 +156,8 @@ Status DecodeTs2Diff(const uint8_t* data, size_t size, uint32_t count,
 }
 
 Status DecodeDeltaRle(const uint8_t* data, size_t size, uint32_t count,
-                      DecodeStrategy strategy, DecodedColumn* out) {
+                      DecodeStrategy strategy, DecodedColumn* out,
+                      metrics::StageBreakdown* stages) {
   Result<enc::DeltaRleColumn> parsed = enc::DeltaRleColumn::Parse(data, size);
   if (!parsed.ok()) return parsed.status();
   const enc::DeltaRleColumn& col = parsed.value();
@@ -178,6 +179,8 @@ Status DecodeDeltaRle(const uint8_t* data, size_t size, uint32_t count,
     out->narrow = false;
     out->offsets.clear();
     out->values64.resize(count);
+    metrics::ScopedStageTimer timer(stages, metrics::Stage::kDelta);
+    timer.AddTuples(count);
     return col.DecodeAll(out->values64.data());
   }
 
@@ -192,6 +195,8 @@ Status DecodeDeltaRle(const uint8_t* data, size_t size, uint32_t count,
   std::vector<uint32_t> runs(np);
   bool vectorized = strategy == DecodeStrategy::kEtsqp ||
                     strategy == DecodeStrategy::kSboost;
+  metrics::ScopedStageTimer unpack_timer(stages, metrics::Stage::kUnpack);
+  unpack_timer.AddTuples(np);
   if (vectorized) {
     simd::UnpackBE32(col.packed_deltas(), size, np, col.delta_width(),
                      reinterpret_cast<uint32_t*>(deltas.data()));
@@ -203,6 +208,11 @@ Status DecodeDeltaRle(const uint8_t* data, size_t size, uint32_t count,
     enc::UnpackBE32(col.packed_runs(), size, 0, np, col.run_width(),
                     runs.data());
   }
+  unpack_timer.Stop();
+  // The Delta/Repeat flatten is the separate pass fusion elides — its cost
+  // reports under the delta stage.
+  metrics::ScopedStageTimer delta_timer(stages, metrics::Stage::kDelta);
+  delta_timer.AddTuples(count);
   int32_t md = static_cast<int32_t>(col.min_delta());
   uint64_t total_runs = 0;
   for (uint32_t i = 0; i < np; ++i) {
@@ -278,12 +288,20 @@ Status DecodeFastLanesSimd(const enc::FastLanesColumn& col, size_t begin,
 Status DecodeColumnRange(const uint8_t* data, size_t size,
                          enc::ColumnEncoding encoding, uint32_t count,
                          DecodeStrategy strategy, int n_v, size_t begin,
-                         size_t end, DecodedColumn* out, bool ordered) {
+                         size_t end, DecodedColumn* out, bool ordered,
+                         metrics::StageBreakdown* stages) {
   end = std::min<size_t>(end, count);
   switch (encoding) {
-    case enc::ColumnEncoding::kTs2Diff:
+    case enc::ColumnEncoding::kTs2Diff: {
+      // TS2DIFF decodes with fused unpack+delta kernels (Algorithm 1): the
+      // whole pass reports under kUnpack; a near-zero kDelta is exactly the
+      // fusion effect EXPLAIN ANALYZE makes visible.
+      metrics::ScopedStageTimer timer(stages, metrics::Stage::kUnpack);
+      timer.AddTuples(end > begin ? end - begin : 0);
+      timer.AddBytes(size);
       return DecodeTs2Diff(data, size, count, strategy, n_v, begin, end,
                            ordered, out);
+    }
     case enc::ColumnEncoding::kFastLanes: {
       Result<enc::FastLanesColumn> parsed =
           enc::FastLanesColumn::Parse(data, size);
@@ -291,6 +309,9 @@ Status DecodeColumnRange(const uint8_t* data, size_t size,
       if (parsed.value().count() != count) {
         return Status::Corruption("fastlanes count");
       }
+      metrics::ScopedStageTimer timer(stages, metrics::Stage::kUnpack);
+      timer.AddTuples(end > begin ? end - begin : 0);
+      timer.AddBytes(size);
       if (strategy == DecodeStrategy::kSerial) {
         out->narrow = false;
         out->offsets.clear();
@@ -310,12 +331,20 @@ Status DecodeColumnRange(const uint8_t* data, size_t size,
       break;
   }
   // Non-block-sliceable encodings: decode fully, then cut the range.
+  // Delta-RLE records its own unpack/flatten split; the rest count whole
+  // under the unpack stage.
   DecodedColumn full;
-  switch (encoding) {
-    case enc::ColumnEncoding::kDeltaRle:
-      ETSQP_RETURN_IF_ERROR(
-          DecodeDeltaRle(data, size, count, strategy, &full));
-      break;
+  {
+    metrics::ScopedStageTimer timer(
+        encoding == enc::ColumnEncoding::kDeltaRle ? nullptr : stages,
+        metrics::Stage::kUnpack);
+    timer.AddTuples(count);
+    timer.AddBytes(size);
+    switch (encoding) {
+      case enc::ColumnEncoding::kDeltaRle:
+        ETSQP_RETURN_IF_ERROR(
+            DecodeDeltaRle(data, size, count, strategy, &full, stages));
+        break;
     case enc::ColumnEncoding::kRlbe: {
       Result<enc::RlbeColumn> parsed = enc::RlbeColumn::Parse(data, size);
       if (!parsed.ok()) return parsed.status();
@@ -390,6 +419,7 @@ Status DecodeColumnRange(const uint8_t* data, size_t size,
     }
     default:
       return Status::NotSupported("decode for this encoding");
+    }
   }
   if (begin == 0 && end == full.size()) {
     *out = std::move(full);
@@ -411,9 +441,10 @@ Status DecodeColumnRange(const uint8_t* data, size_t size,
 
 Status DecodeColumn(const uint8_t* data, size_t size,
                     enc::ColumnEncoding encoding, uint32_t count,
-                    DecodeStrategy strategy, int n_v, DecodedColumn* out) {
+                    DecodeStrategy strategy, int n_v, DecodedColumn* out,
+                    metrics::StageBreakdown* stages) {
   return DecodeColumnRange(data, size, encoding, count, strategy, n_v, 0,
-                           count, out);
+                           count, out, /*ordered=*/true, stages);
 }
 
 }  // namespace etsqp::exec

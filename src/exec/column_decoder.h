@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "encoding/format.h"
 
@@ -42,9 +43,14 @@ struct DecodedColumn {
 /// Decodes a full encoded column with the given strategy. `n_v` selects the
 /// transposed-layout vector count for kEtsqp (0 = Proposition 1 default).
 /// The buffer must have >= 32 bytes of readable slack (AlignedBuffer).
+///
+/// `stages` (optional) records decode-stage timings: bit-unpacking —
+/// including Algorithm 1's fused unpack+delta kernels — under kUnpack, and
+/// the separate delta/RLE flatten passes of non-fused paths under kDelta.
 Status DecodeColumn(const uint8_t* data, size_t size,
                     enc::ColumnEncoding encoding, uint32_t count,
-                    DecodeStrategy strategy, int n_v, DecodedColumn* out);
+                    DecodeStrategy strategy, int n_v, DecodedColumn* out,
+                    metrics::StageBreakdown* stages = nullptr);
 
 /// Decodes only blocks overlapping value positions [begin, end) — used by
 /// page slices. Positions outside [begin,end) in `out` are unspecified;
@@ -57,7 +63,8 @@ Status DecodeColumn(const uint8_t* data, size_t size,
 Status DecodeColumnRange(const uint8_t* data, size_t size,
                          enc::ColumnEncoding encoding, uint32_t count,
                          DecodeStrategy strategy, int n_v, size_t begin,
-                         size_t end, DecodedColumn* out, bool ordered = true);
+                         size_t end, DecodedColumn* out, bool ordered = true,
+                         metrics::StageBreakdown* stages = nullptr);
 
 }  // namespace etsqp::exec
 

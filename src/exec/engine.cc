@@ -7,7 +7,9 @@
 #include <mutex>
 
 #include "common/bit_util.h"
+#include "common/metrics.h"
 #include "encoding/delta_rle.h"
+#include "exec/explain.h"
 #include "exec/fusion.h"
 #include "exec/pipe_builder.h"
 #include "exec/scheduler.h"
@@ -16,6 +18,49 @@
 namespace etsqp::exec {
 
 namespace {
+
+using metrics::ScopedStageTimer;
+using metrics::Stage;
+
+metrics::StageBreakdown* StagesOf(const PipelineOptions& opt,
+                                  QueryStats* stats) {
+  return (opt.collect_stats && stats != nullptr) ? &stats->stages : nullptr;
+}
+
+/// Pipe compilation for the file-backed path: header-only pruning decides
+/// which pages to fetch at all; surviving pages become whole-page jobs
+/// (slicing would defeat the one-fetch-per-page buffer pool discipline).
+Result<PipelineSpec> BuildFilePipeline(const LogicalPlan& plan,
+                                       storage::FileBackedStore* store,
+                                       const PipelineOptions& options) {
+  if (plan.kind != LogicalPlan::Kind::kAggregate) {
+    return Status::NotSupported("file-backed path supports aggregation only");
+  }
+  Result<const storage::FileBackedStore::SeriesIndex*> series =
+      store->GetSeries(plan.series);
+  if (!series.ok()) return series.status();
+  const auto& refs = series.value()->pages;
+
+  TimeRange trange = plan.time_filter;
+  if (plan.window.active) trange.lo = std::max(trange.lo, plan.window.t_min);
+
+  PipelineSpec spec;
+  for (size_t p = 0; p < refs.size(); ++p) {
+    const storage::PageHeader& h = refs[p].header;
+    ++spec.plan_stats.pages_total;
+    spec.plan_stats.tuples_in_pages += h.count;
+    if (!trange.Overlaps(h.min_time, h.max_time) ||
+        (options.prune && plan.value_filter.active &&
+         (h.max_value < plan.value_filter.lo ||
+          h.min_value > plan.value_filter.hi))) {
+      ++spec.plan_stats.pages_pruned;
+      continue;
+    }
+    spec.plan_stats.bytes_loaded += h.time_bytes + h.value_bytes;
+    spec.jobs.push_back({0, p, 0, h.count});
+  }
+  return spec;
+}
 
 /// Per-input materialized tuples, stitched in storage order.
 struct Materialized {
@@ -75,7 +120,57 @@ Status MaterializeInputs(const LogicalPlan& plan,
 }  // namespace
 
 Result<QueryResult> Engine::Execute(const LogicalPlan& plan,
-                                    const storage::SeriesStore& store) const {
+                                    StoreHandle store) const {
+  if (plan.explain != LogicalPlan::ExplainMode::kNone) {
+    return ExecuteExplain(plan, store);
+  }
+  const bool timed = options_.collect_stats;
+  const uint64_t t0 = timed ? metrics::NowNanos() : 0;
+  Result<QueryResult> result =
+      store.file() != nullptr
+          ? ExecuteFile(plan, store.file())
+          : (store.memory() != nullptr
+                 ? ExecuteMemory(plan, *store.memory())
+                 : Result<QueryResult>(Status::Internal("null store handle")));
+  if (timed && result.ok()) {
+    result.value().stats.wall_nanos = metrics::NowNanos() - t0;
+    result.value().stats.threads = options_.threads;
+  }
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteExplain(const LogicalPlan& plan,
+                                           StoreHandle store) const {
+  LogicalPlan inner = plan;
+  inner.explain = LogicalPlan::ExplainMode::kNone;
+  // The rendered tree comes from Pipe compilation either way; it is
+  // header-only work, so re-running it for ANALYZE costs nothing visible.
+  Result<PipelineSpec> spec =
+      store.file() != nullptr
+          ? BuildFilePipeline(inner, store.file(), options_)
+          : (store.memory() != nullptr
+                 ? BuildPipeline(inner, *store.memory(), options_)
+                 : Result<PipelineSpec>(Status::Internal("null store handle")));
+  if (!spec.ok()) return spec.status();
+
+  if (plan.explain == LogicalPlan::ExplainMode::kPlan) {
+    QueryResult out;
+    out.stats = spec.value().plan_stats;
+    out.explain_text = RenderExplain(inner, options_, spec.value());
+    return out;
+  }
+  // EXPLAIN ANALYZE: run with stats collection forced on.
+  Engine analyzed(PipelineOptions(options_).WithStats(true));
+  Result<QueryResult> run = analyzed.Execute(inner, store);
+  if (!run.ok()) return run.status();
+  QueryResult out = std::move(run.value());
+  out.explain_text = RenderExplainAnalyze(inner, analyzed.options(),
+                                          spec.value(), out.stats);
+  return out;
+}
+
+Result<QueryResult> Engine::ExecuteMemory(
+    const LogicalPlan& plan, const storage::SeriesStore& store) const {
   switch (plan.kind) {
     case LogicalPlan::Kind::kAggregate:
       return ExecuteAggregate(plan, store);
@@ -91,49 +186,32 @@ Result<QueryResult> Engine::Execute(const LogicalPlan& plan,
   return Status::Internal("unknown plan kind");
 }
 
-Result<QueryResult> Engine::ExecuteOnFile(
+Result<QueryResult> Engine::ExecuteFile(
     const LogicalPlan& plan, storage::FileBackedStore* store) const {
-  if (plan.kind != LogicalPlan::Kind::kAggregate) {
-    return Status::NotSupported("file-backed path supports aggregation only");
-  }
-  Result<const storage::FileBackedStore::SeriesIndex*> series =
-      store->GetSeries(plan.series);
-  if (!series.ok()) return series.status();
-  const auto& refs = series.value()->pages;
-
-  TimeRange trange = plan.time_filter;
-  if (plan.window.active) trange.lo = std::max(trange.lo, plan.window.t_min);
-
-  // Header-only pruning: decide which pages to fetch at all.
-  std::vector<size_t> wanted;
-  QueryStats plan_stats;
-  for (size_t p = 0; p < refs.size(); ++p) {
-    const storage::PageHeader& h = refs[p].header;
-    ++plan_stats.pages_total;
-    plan_stats.tuples_in_pages += h.count;
-    if (!trange.Overlaps(h.min_time, h.max_time) ||
-        (options_.prune && plan.value_filter.active &&
-         (h.max_value < plan.value_filter.lo ||
-          h.min_value > plan.value_filter.hi))) {
-      ++plan_stats.pages_pruned;
-      continue;
-    }
-    plan_stats.bytes_loaded += h.time_bytes + h.value_bytes;
-    wanted.push_back(p);
-  }
+  Result<PipelineSpec> spec = BuildFilePipeline(plan, store, options_);
+  if (!spec.ok()) return spec.status();
+  const std::vector<PipeJob>& jobs = spec.value().jobs;
 
   QueryResult result;
-  result.stats = plan_stats;
+  result.stats = spec.value().plan_stats;
   std::mutex mu;
   std::map<int64_t, AggAccum> windows;
   AggAccum total;
   Status first_error;
   QueryStats run_stats;
 
-  RunJobs(wanted.size(), options_.threads, [&](size_t i) {
-    Result<std::shared_ptr<const storage::Page>> page =
-        store->LoadPage(plan.series, wanted[i]);
+  RunJobs(jobs.size(), options_.threads, [&](size_t i) {
     QueryStats local_stats;
+    Result<std::shared_ptr<const storage::Page>> page = [&] {
+      ScopedStageTimer fetch(StagesOf(options_, &local_stats),
+                             Stage::kPageFetch);
+      auto loaded = store->LoadPage(plan.series, jobs[i].page_index);
+      if (loaded.ok()) {
+        fetch.AddTuples(loaded.value()->header.count);
+        fetch.AddBytes(loaded.value()->encoded_bytes());
+      }
+      return loaded;
+    }();
     Status st = page.ok() ? Status::Ok() : page.status();
     std::map<int64_t, AggAccum> local_windows;
     AggAccum local;
@@ -156,6 +234,8 @@ Result<QueryResult> Engine::ExecuteOnFile(
   if (!first_error.ok()) return first_error;
   result.stats.Merge(run_stats);
 
+  ScopedStageTimer merge_timer(StagesOf(options_, &result.stats),
+                               Stage::kMerge);
   if (plan.window.active) {
     result.column_names = {"window_start", AggFuncName(plan.func)};
     result.columns.assign(2, {});
@@ -249,6 +329,8 @@ Result<QueryResult> Engine::ExecuteAggregate(
   if (!first_error.ok()) return first_error;
   result.stats.Merge(run_stats);
 
+  ScopedStageTimer merge_timer(StagesOf(options_, &result.stats),
+                               Stage::kMerge);
   if (plan.window.active) {
     result.column_names = {"window_start", AggFuncName(plan.func)};
     result.columns.assign(2, {});
@@ -316,6 +398,9 @@ Result<QueryResult> Engine::ExecuteBinary(
   const Materialized& l = inputs[0];
   const Materialized& r = inputs[1];
 
+  ScopedStageTimer merge_timer(StagesOf(options_, &result.stats),
+                               Stage::kMerge);
+  merge_timer.AddTuples(l.times.size() + r.times.size());
   if (plan.kind == LogicalPlan::Kind::kUnion) {
     // Q5: series concatenation merged by time (Eq. 5).
     result.column_names = {"time", "value"};
@@ -554,48 +639,6 @@ Result<QueryResult> Engine::ExecuteCorrelate(
   accum.Finish(&result);
   result.stats.result_tuples = result.num_rows();
   return result;
-}
-
-PipelineOptions EtsqpOptions(int threads) {
-  PipelineOptions o;
-  o.strategy = DecodeStrategy::kEtsqp;
-  o.prune = false;
-  o.fusion = true;
-  o.threads = threads;
-  return o;
-}
-
-PipelineOptions EtsqpPruneOptions(int threads) {
-  PipelineOptions o = EtsqpOptions(threads);
-  o.prune = true;
-  return o;
-}
-
-PipelineOptions SerialOptions() {
-  PipelineOptions o;
-  o.strategy = DecodeStrategy::kSerial;
-  o.prune = false;
-  o.fusion = false;
-  o.threads = 1;
-  return o;
-}
-
-PipelineOptions SboostOptions(int threads) {
-  PipelineOptions o;
-  o.strategy = DecodeStrategy::kSboost;
-  o.prune = false;
-  o.fusion = false;
-  o.threads = threads;
-  return o;
-}
-
-PipelineOptions FastLanesOptions(int threads) {
-  PipelineOptions o;
-  o.strategy = DecodeStrategy::kFastLanes;
-  o.prune = false;
-  o.fusion = false;
-  o.threads = threads;
-  return o;
 }
 
 }  // namespace etsqp::exec

@@ -9,34 +9,68 @@
 
 namespace etsqp::exec {
 
+/// The input a query runs against: either an in-memory SeriesStore or a
+/// file-backed store (Section VI-C's gradual page loading). Implicitly
+/// constructible from both so `engine.Execute(plan, store)` reads the same
+/// either way.
+class StoreHandle {
+ public:
+  StoreHandle(const storage::SeriesStore& store)  // NOLINT(runtime/explicit)
+      : memory_(&store) {}
+  StoreHandle(storage::FileBackedStore* store)  // NOLINT(runtime/explicit)
+      : file_(store) {}
+  StoreHandle(storage::FileBackedStore& store)  // NOLINT(runtime/explicit)
+      : file_(&store) {}
+
+  const storage::SeriesStore* memory() const { return memory_; }
+  storage::FileBackedStore* file() const { return file_; }
+
+ private:
+  const storage::SeriesStore* memory_ = nullptr;
+  storage::FileBackedStore* file_ = nullptr;
+};
+
 /// The ETSQP query engine facade: compiles a logical plan with Pipe
 /// (Algorithm 2), runs the decoding/aggregation pipelines on the job
 /// scheduler, and merges partial results (Figure 9's merge nodes).
 ///
 /// The evaluation baselines are configurations of this engine:
-///   ETSQP        {kEtsqp,  prune=false, fusion=true}
-///   ETSQP-prune  {kEtsqp,  prune=true,  fusion=true}
-///   Serial       {kSerial}
-///   SBoost       {kSboost, fusion=false}
-///   FastLanes    {kFastLanes} over FLMM1024-encoded pages
+///   ETSQP        PipelineOptions::Etsqp(threads)
+///   ETSQP-prune  PipelineOptions::EtsqpPrune(threads)
+///   Serial       PipelineOptions::Serial()
+///   SBoost       PipelineOptions::Sboost(threads)
+///   FastLanes    PipelineOptions::FastLanes(threads) over FLMM1024 pages
 class Engine {
  public:
   explicit Engine(PipelineOptions options) : options_(options) {}
 
-  /// Executes `plan` against `store` and returns the result table.
-  Result<QueryResult> Execute(const LogicalPlan& plan,
-                              const storage::SeriesStore& store) const;
+  /// Executes `plan` against `store` — the single entry point for both
+  /// in-memory and file-backed inputs. File-backed stores stream pages
+  /// through the LRU buffer pool and never fetch header-pruned pages; only
+  /// kAggregate plans are supported on that path.
+  ///
+  /// `plan.explain` selects EXPLAIN behaviour: kPlan compiles the Pipe
+  /// operator tree into QueryResult::explain_text without executing;
+  /// kAnalyze executes with stats collection forced on and renders the tree
+  /// annotated with the measured per-stage profile.
+  Result<QueryResult> Execute(const LogicalPlan& plan, StoreHandle store) const;
 
-  /// Executes an aggregation plan against a file-backed store (Section
-  /// VI-C's gradual page loading): pages pruned by header statistics are
-  /// never fetched from the file; the rest stream through the LRU buffer
-  /// pool. Only kAggregate plans are supported on this path.
+  [[deprecated("use Execute(plan, store) — StoreHandle accepts a "
+               "FileBackedStore*")]]
   Result<QueryResult> ExecuteOnFile(const LogicalPlan& plan,
-                                    storage::FileBackedStore* store) const;
+                                    storage::FileBackedStore* store) const {
+    return Execute(plan, StoreHandle(store));
+  }
 
   const PipelineOptions& options() const { return options_; }
 
  private:
+  Result<QueryResult> ExecuteMemory(const LogicalPlan& plan,
+                                    const storage::SeriesStore& store) const;
+  Result<QueryResult> ExecuteFile(const LogicalPlan& plan,
+                                  storage::FileBackedStore* store) const;
+  Result<QueryResult> ExecuteExplain(const LogicalPlan& plan,
+                                     StoreHandle store) const;
   Result<QueryResult> ExecuteAggregate(const LogicalPlan& plan,
                                        const storage::SeriesStore& store) const;
   Result<QueryResult> ExecuteSelect(const LogicalPlan& plan,
@@ -49,12 +83,25 @@ class Engine {
   PipelineOptions options_;
 };
 
-/// Canonical option sets for the evaluation baselines.
-PipelineOptions EtsqpOptions(int threads = 1);
-PipelineOptions EtsqpPruneOptions(int threads = 1);
-PipelineOptions SerialOptions();
-PipelineOptions SboostOptions(int threads = 1);
-PipelineOptions FastLanesOptions(int threads = 1);
+/// Historical free factories; prefer the PipelineOptions statics.
+[[deprecated("use PipelineOptions::Etsqp")]]
+inline PipelineOptions EtsqpOptions(int threads = 1) {
+  return PipelineOptions::Etsqp(threads);
+}
+[[deprecated("use PipelineOptions::EtsqpPrune")]]
+inline PipelineOptions EtsqpPruneOptions(int threads = 1) {
+  return PipelineOptions::EtsqpPrune(threads);
+}
+[[deprecated("use PipelineOptions::Serial")]]
+inline PipelineOptions SerialOptions() { return PipelineOptions::Serial(); }
+[[deprecated("use PipelineOptions::Sboost")]]
+inline PipelineOptions SboostOptions(int threads = 1) {
+  return PipelineOptions::Sboost(threads);
+}
+[[deprecated("use PipelineOptions::FastLanes")]]
+inline PipelineOptions FastLanesOptions(int threads = 1) {
+  return PipelineOptions::FastLanes(threads);
+}
 
 }  // namespace etsqp::exec
 

@@ -1,0 +1,33 @@
+#ifndef ETSQP_EXEC_EXPLAIN_H_
+#define ETSQP_EXEC_EXPLAIN_H_
+
+#include <string>
+
+#include "exec/expr.h"
+#include "exec/pipe_builder.h"
+#include "exec/pipeline.h"
+
+namespace etsqp::exec {
+
+/// Renders the compiled Pipe plan (Algorithm 2) as an indented operator
+/// tree: the merge/aggregate node on top, the per-series decoding pipelines
+/// below, and the scan leaves annotated with the header-pruning decisions
+/// made at compile time.
+std::string RenderExplain(const LogicalPlan& plan,
+                          const PipelineOptions& options,
+                          const PipelineSpec& spec);
+
+/// EXPLAIN ANALYZE: the same tree followed by the measured execution
+/// profile — wall clock, scan/prune counters, and the per-stage breakdown
+/// (time, calls, tuples, bytes per pipeline stage).
+std::string RenderExplainAnalyze(const LogicalPlan& plan,
+                                 const PipelineOptions& options,
+                                 const PipelineSpec& spec,
+                                 const ExecStats& stats);
+
+/// The profile block alone (used by etsqp_cli's `.stats` display).
+std::string RenderStats(const ExecStats& stats);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_EXPLAIN_H_

@@ -1,5 +1,8 @@
 #include "exec/expr.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace etsqp::exec {
 
 const char* AggFuncName(AggFunc f) {
@@ -18,6 +21,50 @@ const char* AggFuncName(AggFunc f) {
       return "VAR";
   }
   return "?";
+}
+
+namespace {
+
+void AppendField(std::string* out, const char* name, uint64_t value,
+                 bool* first) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRIu64, *first ? "" : ", ",
+                name, value);
+  *first = false;
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ExecStats::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  AppendField(&out, "pages_total", pages_total, &first);
+  AppendField(&out, "pages_pruned", pages_pruned, &first);
+  AppendField(&out, "blocks_pruned", blocks_pruned, &first);
+  AppendField(&out, "tuples_in_pages", tuples_in_pages, &first);
+  AppendField(&out, "tuples_scanned", tuples_scanned, &first);
+  AppendField(&out, "bytes_loaded", bytes_loaded, &first);
+  AppendField(&out, "result_tuples", result_tuples, &first);
+  AppendField(&out, "wall_nanos", wall_nanos, &first);
+  AppendField(&out, "threads", static_cast<uint64_t>(threads > 0 ? threads : 0),
+              &first);
+  out += ", \"stages\": {";
+  for (int i = 0; i < metrics::kNumStages; ++i) {
+    const metrics::StageStats& s = stages.stages[i];
+    if (i > 0) out += ", ";
+    out += '"';
+    out += metrics::StageName(static_cast<metrics::Stage>(i));
+    out += "\": {";
+    bool sfirst = true;
+    AppendField(&out, "nanos", s.nanos, &sfirst);
+    AppendField(&out, "calls", s.calls, &sfirst);
+    AppendField(&out, "tuples", s.tuples, &sfirst);
+    AppendField(&out, "bytes", s.bytes, &sfirst);
+    out += "}";
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace etsqp::exec

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace etsqp::exec {
 
 /// Aggregation functions (Definition 2: valid value aggregation). SUM/COUNT
@@ -70,7 +72,14 @@ struct LogicalPlan {
     kCorrelate,       // SELECT CORR(ts1.A, ts2.A) FROM ts1, ts2
   };
 
+  /// EXPLAIN wrapper around the statement: kPlan compiles and renders the
+  /// Pipe operator tree without executing; kAnalyze executes with stats
+  /// collection forced on and annotates the tree with measured per-stage
+  /// time/tuples/bytes.
+  enum class ExplainMode { kNone, kPlan, kAnalyze };
+
   Kind kind = Kind::kAggregate;
+  ExplainMode explain = ExplainMode::kNone;
   std::string series;        // left/primary input
   std::string series_right;  // right input for binary operators
   AggFunc func = AggFunc::kSum;
@@ -94,10 +103,15 @@ struct LogicalPlan {
   }
 };
 
-/// Execution counters reported with every query result; the benches derive
-/// throughput (tuples of loaded pages per second, counting pruned slices —
-/// Section VII-B) and I/O volume from these.
-struct QueryStats {
+/// Execution statistics reported with every query result. The flat counters
+/// are what the benches derive throughput (tuples of loaded pages per
+/// second, counting pruned slices — Section VII-B) and I/O volume from; they
+/// are deterministic (identical across thread counts). The per-stage
+/// breakdown (timings, tuples, bytes per pipeline stage) is populated only
+/// when PipelineOptions.collect_stats is on; jobs record it locally and the
+/// engine merges at job completion, so collection is lock-free on the hot
+/// path and free when off.
+struct ExecStats {
   uint64_t pages_total = 0;
   uint64_t pages_pruned = 0;   // skipped whole (header-only)
   uint64_t blocks_pruned = 0;  // skipped by Propositions 4-5
@@ -106,7 +120,12 @@ struct QueryStats {
   uint64_t bytes_loaded = 0;    // encoded payload bytes touched
   uint64_t result_tuples = 0;
 
-  void Merge(const QueryStats& o) {
+  // Populated only under collect_stats.
+  metrics::StageBreakdown stages;  // summed across jobs/threads
+  uint64_t wall_nanos = 0;         // whole-query wall clock (engine level)
+  int threads = 0;                 // worker threads configured for the run
+
+  void Merge(const ExecStats& o) {
     pages_total += o.pages_total;
     pages_pruned += o.pages_pruned;
     blocks_pruned += o.blocks_pruned;
@@ -114,15 +133,28 @@ struct QueryStats {
     tuples_scanned += o.tuples_scanned;
     bytes_loaded += o.bytes_loaded;
     result_tuples += o.result_tuples;
+    stages.Merge(o.stages);
+    if (o.wall_nanos > wall_nanos) wall_nanos = o.wall_nanos;
+    if (o.threads > threads) threads = o.threads;
   }
+
+  /// One-line-per-field JSON object (counters, and — when collected — the
+  /// per-stage breakdown and wall time). Reused by the bench JSON export.
+  std::string ToJson() const;
 };
+
+/// Historical name: the flat counter block before the per-stage extension.
+using QueryStats = ExecStats;
 
 /// Tabular query output. Values are doubles (timestamps in the benchmark
 /// datasets stay below 2^53, so the conversion is exact).
 struct QueryResult {
   std::vector<std::string> column_names;
   std::vector<std::vector<double>> columns;
-  QueryStats stats;
+  ExecStats stats;
+
+  /// Non-empty for EXPLAIN / EXPLAIN ANALYZE: the rendered operator tree.
+  std::string explain_text;
 
   size_t num_rows() const {
     return columns.empty() ? 0 : columns[0].size();

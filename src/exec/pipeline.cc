@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/bit_util.h"
+#include "common/metrics.h"
 #include "exec/fusion.h"
 #include "exec/pruning.h"
 #include "simd/agg_simd.h"
@@ -18,6 +19,17 @@ constexpr __int128 kI64Max = std::numeric_limits<int64_t>::max();
 constexpr __int128 kI64Min = std::numeric_limits<int64_t>::min();
 
 bool FitsInt64(__int128 v) { return v >= kI64Min && v <= kI64Max; }
+
+using metrics::ScopedStageTimer;
+using metrics::Stage;
+
+/// Stage recording target: non-null only when the caller both supplied a
+/// stats sink and asked for collection, so every timer below is a no-op
+/// (no clock read) on the default path.
+metrics::StageBreakdown* StagesOf(const PipelineOptions& opt,
+                                  QueryStats* stats) {
+  return (opt.collect_stats && stats != nullptr) ? &stats->stages : nullptr;
+}
 
 int32_t ClampToInt32(int64_t v) {
   if (v > std::numeric_limits<int32_t>::max()) {
@@ -40,14 +52,17 @@ Status SlicePositions(const storage::Page& page, size_t begin, size_t end,
     *p1 = end;
     return Status::Ok();
   }
+  metrics::StageBreakdown* stages = StagesOf(opt, stats);
   if (page.header.time_encoding != enc::ColumnEncoding::kTs2Diff) {
     // Generic path: decode times and binary-search (sorted).
     DecodedColumn times;
     ETSQP_RETURN_IF_ERROR(DecodeColumn(
         page.time_data.data(), page.time_data.size(),
         page.header.time_encoding, page.header.count, opt.strategy, opt.n_v,
-        &times));
+        &times, stages));
     if (stats != nullptr) stats->tuples_scanned += times.size();
+    ScopedStageTimer timer(stages, Stage::kFilter);
+    timer.AddTuples(times.size());
     std::vector<int64_t> t(times.size());
     times.Materialize(t.data());
     size_t lo = std::lower_bound(t.begin(), t.end(), trange.lo) - t.begin();
@@ -58,9 +73,17 @@ Status SlicePositions(const storage::Page& page, size_t begin, size_t end,
   }
   size_t first = 0, last = 0;
   uint64_t pruned = 0, scanned = 0;
-  ETSQP_RETURN_IF_ERROR(TimeRangePositions(
-      page.time_data.data(), page.time_data.size(), page.header.count, trange,
-      opt.strategy, opt.n_v, opt.prune, &first, &last, &pruned, &scanned));
+  {
+    // The TS2DIFF positioner decodes and scans internally; its whole cost is
+    // the time-filter stage (Proposition 4 pruning happens inside it).
+    ScopedStageTimer timer(stages, Stage::kFilter);
+    ETSQP_RETURN_IF_ERROR(TimeRangePositions(
+        page.time_data.data(), page.time_data.size(), page.header.count,
+        trange, opt.strategy, opt.n_v, opt.prune, &first, &last, &pruned,
+        &scanned));
+    timer.AddTuples(scanned);
+    timer.AddBytes(page.time_data.size());
+  }
   if (stats != nullptr) {
     stats->blocks_pruned += pruned;
     stats->tuples_scanned += scanned;
@@ -76,9 +99,12 @@ bool NeedsMinMax(AggFunc func) {
 }
 
 /// Aggregates a decoded column range [0, n) into `accum` (no value filter).
-void AggDecoded(const DecodedColumn& col, AggFunc func, AggAccum* accum) {
+void AggDecoded(const DecodedColumn& col, AggFunc func, AggAccum* accum,
+                metrics::StageBreakdown* stages) {
   size_t n = col.size();
   if (n == 0) return;
+  ScopedStageTimer timer(stages, Stage::kAggregate);
+  timer.AddTuples(n);
   const bool need_sq = func == AggFunc::kVariance;
   if (col.narrow && !need_sq) {
     int64_t off_sum = simd::SumInt32(col.offsets.data(), n);
@@ -97,7 +123,8 @@ void AggDecoded(const DecodedColumn& col, AggFunc func, AggAccum* accum) {
 
 /// Aggregates the subset of a decoded column matching `vrange`.
 void AggDecodedFiltered(const DecodedColumn& col, const ValueRange& vrange,
-                        AggFunc func, AggAccum* accum) {
+                        AggFunc func, AggAccum* accum,
+                        metrics::StageBreakdown* stages) {
   size_t n = col.size();
   if (n == 0) return;
   const bool need_sq = func == AggFunc::kVariance;
@@ -109,10 +136,15 @@ void AggDecodedFiltered(const DecodedColumn& col, const ValueRange& vrange,
                                       ? std::numeric_limits<int64_t>::max()
                                       : vrange.hi - col.base);
     std::vector<uint64_t> mask(CeilDiv(n, 64));
+    ScopedStageTimer filter_timer(stages, Stage::kFilter);
+    filter_timer.AddTuples(n);
     simd::RangeFilterMaskInt32(col.offsets.data(), n, rel_lo, rel_hi,
                                mask.data());
     size_t cnt = simd::CountMaskBits(mask.data(), n);
+    filter_timer.Stop();
     if (cnt == 0) return;
+    ScopedStageTimer timer(stages, Stage::kAggregate);
+    timer.AddTuples(cnt);
     accum->count += cnt;
     if (func != AggFunc::kCount && !NeedsMinMax(func)) {
       int64_t off_sum =
@@ -129,6 +161,8 @@ void AggDecodedFiltered(const DecodedColumn& col, const ValueRange& vrange,
     }
     return;
   }
+  ScopedStageTimer timer(stages, Stage::kAggregate);
+  timer.AddTuples(n);
   for (size_t i = 0; i < n; ++i) {
     int64_t v = col.Get(i);
     if (vrange.Contains(v)) accum->AddValue(v, need_sq);
@@ -160,6 +194,7 @@ Status AggValues(const storage::Page& page, size_t p0, size_t p1,
                  const PipelineOptions& opt, AggAccum* accum,
                  QueryStats* stats, ValueColumnContext* ctx = nullptr) {
   if (p0 >= p1) return Status::Ok();
+  metrics::StageBreakdown* stages = StagesOf(opt, stats);
   const bool need_sq = func == AggFunc::kVariance;
   const enc::ColumnEncoding venc = page.header.value_encoding;
   const bool fusable =
@@ -179,11 +214,15 @@ Status AggValues(const storage::Page& page, size_t p0, size_t p1,
     Ts2DiffFusedReader* reader =
         ctx != nullptr ? ctx->Get(page) : local.Get(page);
     if (reader != nullptr) {
+      // The fused reader skips the separate unpack/delta passes entirely —
+      // its whole cost is the aggregation stage (Section IV).
+      ScopedStageTimer timer(stages, Stage::kAggregate);
       int64_t sum = 0;
       Status st = reader->SumRange(p0, p1, &sum);
       if (st.ok()) {
         accum->sum += sum;
         accum->count += p1 - p0;
+        timer.AddTuples(p1 - p0);
         if (stats != nullptr) stats->tuples_scanned += p1 - p0;
         return Status::Ok();
       }
@@ -197,11 +236,16 @@ Status AggValues(const storage::Page& page, size_t p0, size_t p1,
         page.value_data.data(), page.value_data.size());
     if (!col.ok()) return col.status();
     DeltaRleAggregates agg;
+    ScopedStageTimer timer(stages, Stage::kAggregate);
     Status st = FusedAggDeltaRle(col.value(), p0, p1, need_sq, &agg);
+    timer.Stop();
     if (st.ok()) {
       accum->sum += agg.sum;
       accum->sum_sq += agg.sum_sq;
       accum->count += agg.count;
+      if (stages != nullptr) {
+        (*stages)[Stage::kAggregate].tuples += agg.count;
+      }
       if (stats != nullptr) stats->tuples_scanned += agg.count;
       return Status::Ok();
     }
@@ -231,9 +275,9 @@ Status AggValues(const storage::Page& page, size_t p0, size_t p1,
       ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
           page.value_data.data(), page.value_data.size(), venc,
           page.header.count, opt.strategy, opt.n_v, from, to, &vals,
-          /*ordered=*/false));
+          /*ordered=*/false, stages));
       if (stats != nullptr) stats->tuples_scanned += vals.size();
-      AggDecodedFiltered(vals, vrange, func, accum);
+      AggDecodedFiltered(vals, vrange, func, accum, stages);
     }
     return Status::Ok();
   }
@@ -243,12 +287,12 @@ Status AggValues(const storage::Page& page, size_t p0, size_t p1,
   ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
       page.value_data.data(), page.value_data.size(), venc,
       page.header.count, opt.strategy, opt.n_v, p0, p1, &vals,
-      /*ordered=*/false));
+      /*ordered=*/false, stages));
   if (stats != nullptr) stats->tuples_scanned += vals.size();
   if (vrange.active) {
-    AggDecodedFiltered(vals, vrange, func, accum);
+    AggDecodedFiltered(vals, vrange, func, accum, stages);
   } else {
-    AggDecoded(vals, func, accum);
+    AggDecoded(vals, func, accum, stages);
   }
   // Sums accumulate in 128-bit; int64 range is enforced at Finalize for
   // SUM only (AVG/VAR remain exact at this width — Section VI-C's larger
@@ -329,18 +373,26 @@ Status AggregateFloatSlice(const storage::Page& page, size_t begin,
   ETSQP_RETURN_IF_ERROR(
       SlicePositions(page, begin, end, trange, opt, &p0, &p1, stats));
   if (p0 >= p1) return Status::Ok();
+  metrics::StageBreakdown* stages = StagesOf(opt, stats);
   // XOR-pattern codecs are serial streams: decode the whole column once,
   // then aggregate the slice positions.
   std::vector<double> values(page.header.count);
-  ETSQP_RETURN_IF_ERROR(storage::DecodePageColumnF64(
-      page.value_data, page.header.value_encoding, page.header.count,
-      values.data()));
+  {
+    ScopedStageTimer timer(stages, Stage::kUnpack);
+    timer.AddTuples(page.header.count);
+    timer.AddBytes(page.value_data.size());
+    ETSQP_RETURN_IF_ERROR(storage::DecodePageColumnF64(
+        page.value_data, page.header.value_encoding, page.header.count,
+        values.data()));
+  }
   if (stats != nullptr) stats->tuples_scanned += p1 - p0;
   const bool need_sq = func == AggFunc::kVariance;
   double lo = vrange.active ? static_cast<double>(vrange.lo)
                             : -std::numeric_limits<double>::infinity();
   double hi = vrange.active ? static_cast<double>(vrange.hi)
                             : std::numeric_limits<double>::infinity();
+  ScopedStageTimer timer(stages, Stage::kAggregate);
+  timer.AddTuples(p1 - p0);
   for (size_t i = p0; i < p1; ++i) {
     double v = values[i];
     if (v < lo || v > hi) continue;
@@ -367,6 +419,7 @@ Status AggregateSliceWindows(const storage::Page& page, size_t begin,
   end = std::min<size_t>(end, page.header.count);
   if (begin >= end) return Status::Ok();
 
+  metrics::StageBreakdown* stages = StagesOf(opt, stats);
   // Decode the slice's timestamps once; window boundaries are then binary
   // searches in the sorted array. (Constant-interval pages could skip this
   // via Proposition 4; the generic path decodes.)
@@ -374,7 +427,7 @@ Status AggregateSliceWindows(const storage::Page& page, size_t begin,
   ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
       page.time_data.data(), page.time_data.size(),
       page.header.time_encoding, page.header.count, opt.strategy, opt.n_v,
-      begin, end, &times));
+      begin, end, &times, /*ordered=*/true, stages));
   if (stats != nullptr) stats->tuples_scanned += times.size();
   size_t n = times.size();
   if (n == 0) return Status::Ok();
@@ -414,22 +467,30 @@ Status AggregateFloatSliceWindows(const storage::Page& page, size_t begin,
                                   QueryStats* stats) {
   end = std::min<size_t>(end, page.header.count);
   if (begin >= end) return Status::Ok();
+  metrics::StageBreakdown* stages = StagesOf(opt, stats);
   DecodedColumn times;
   ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
       page.time_data.data(), page.time_data.size(),
       page.header.time_encoding, page.header.count, opt.strategy, opt.n_v,
-      begin, end, &times));
+      begin, end, &times, /*ordered=*/true, stages));
   size_t n = times.size();
   if (n == 0) return Status::Ok();
   std::vector<int64_t> t(n);
   times.Materialize(t.data());
   std::vector<double> values(page.header.count);
-  ETSQP_RETURN_IF_ERROR(storage::DecodePageColumnF64(
-      page.value_data, page.header.value_encoding, page.header.count,
-      values.data()));
+  {
+    ScopedStageTimer timer(stages, Stage::kUnpack);
+    timer.AddTuples(page.header.count);
+    timer.AddBytes(page.value_data.size());
+    ETSQP_RETURN_IF_ERROR(storage::DecodePageColumnF64(
+        page.value_data, page.header.value_encoding, page.header.count,
+        values.data()));
+  }
   if (stats != nullptr) stats->tuples_scanned += 2 * n;
   const bool need_sq = func == AggFunc::kVariance;
+  ScopedStageTimer timer(stages, Stage::kAggregate);
   size_t pos = std::lower_bound(t.begin(), t.end(), sw.t_min) - t.begin();
+  timer.AddTuples(n - pos);
   while (pos < n) {
     int64_t k = sw.WindowIndex(t[pos]);
     int64_t wend = sw.WindowStart(k + 1);
@@ -453,21 +514,25 @@ Status MaterializeSlice(const storage::Page& page, size_t begin, size_t end,
   ETSQP_RETURN_IF_ERROR(
       SlicePositions(page, begin, end, trange, opt, &p0, &p1, stats));
   if (p0 >= p1) return Status::Ok();
+  metrics::StageBreakdown* stages = StagesOf(opt, stats);
 
   DecodedColumn tcol, vcol;
   ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
       page.time_data.data(), page.time_data.size(),
       page.header.time_encoding, page.header.count, opt.strategy, opt.n_v,
-      p0, p1, &tcol));
+      p0, p1, &tcol, /*ordered=*/true, stages));
   ETSQP_RETURN_IF_ERROR(DecodeColumnRange(
       page.value_data.data(), page.value_data.size(),
       page.header.value_encoding, page.header.count, opt.strategy, opt.n_v,
-      p0, p1, &vcol));
+      p0, p1, &vcol, /*ordered=*/true, stages));
   if (stats != nullptr) stats->tuples_scanned += tcol.size() + vcol.size();
 
   size_t n = p1 - p0;
   if (!vrange.active) {
-    // Bulk path: vectorized widening into the output tails.
+    // Bulk path: vectorized widening into the output tails. Emission is
+    // merge-stage work (it feeds the stitching/merge nodes of Figure 9).
+    ScopedStageTimer timer(stages, Stage::kMerge);
+    timer.AddTuples(n);
     size_t t_at = times->size();
     size_t v_at = values->size();
     times->resize(t_at + n);
@@ -476,6 +541,8 @@ Status MaterializeSlice(const storage::Page& page, size_t begin, size_t end,
     vcol.Materialize(values->data() + v_at);
     return Status::Ok();
   }
+  ScopedStageTimer timer(stages, Stage::kFilter);
+  timer.AddTuples(n);
   times->reserve(times->size() + n);
   values->reserve(values->size() + n);
   for (size_t i = 0; i < n; ++i) {
@@ -485,6 +552,46 @@ Status MaterializeSlice(const storage::Page& page, size_t begin, size_t end,
     values->push_back(v);
   }
   return Status::Ok();
+}
+
+PipelineOptions PipelineOptions::Etsqp(int threads) {
+  PipelineOptions o;
+  o.strategy = DecodeStrategy::kEtsqp;
+  o.prune = false;
+  o.fusion = true;
+  o.threads = threads;
+  return o;
+}
+
+PipelineOptions PipelineOptions::EtsqpPrune(int threads) {
+  return Etsqp(threads).WithPrune(true);
+}
+
+PipelineOptions PipelineOptions::Serial() {
+  PipelineOptions o;
+  o.strategy = DecodeStrategy::kSerial;
+  o.prune = false;
+  o.fusion = false;
+  o.threads = 1;
+  return o;
+}
+
+PipelineOptions PipelineOptions::Sboost(int threads) {
+  PipelineOptions o;
+  o.strategy = DecodeStrategy::kSboost;
+  o.prune = false;
+  o.fusion = false;
+  o.threads = threads;
+  return o;
+}
+
+PipelineOptions PipelineOptions::FastLanes(int threads) {
+  PipelineOptions o;
+  o.strategy = DecodeStrategy::kFastLanes;
+  o.prune = false;
+  o.fusion = false;
+  o.threads = threads;
+  return o;
 }
 
 }  // namespace etsqp::exec

@@ -16,12 +16,51 @@ namespace etsqp::exec {
 /// these (ETSQP = {kEtsqp, prune off, fusion on}; ETSQP-prune adds prune;
 /// Serial = kSerial; SBoost = kSboost; FastLanes = kFastLanes over
 /// FLMM1024-encoded pages).
+///
+/// Construct with the named baseline constructors and refine with the
+/// fluent setters:
+///   PipelineOptions::Etsqp(4).WithPrune(true).WithStats(true)
 struct PipelineOptions {
   DecodeStrategy strategy = DecodeStrategy::kEtsqp;
   bool prune = false;
   bool fusion = true;
   int n_v = 0;  // transposed-layout vector count; 0 = Proposition 1 default
   int threads = 1;
+  /// Collect the per-stage ExecStats breakdown (timings, tuples, bytes).
+  /// Off by default: instrumented code then skips every clock read.
+  bool collect_stats = false;
+
+  /// Canonical option sets for the evaluation baselines (Section VII-A).
+  static PipelineOptions Etsqp(int threads = 1);
+  static PipelineOptions EtsqpPrune(int threads = 1);
+  static PipelineOptions Serial();
+  static PipelineOptions Sboost(int threads = 1);
+  static PipelineOptions FastLanes(int threads = 1);
+
+  PipelineOptions& WithStrategy(DecodeStrategy s) {
+    strategy = s;
+    return *this;
+  }
+  PipelineOptions& WithPrune(bool on) {
+    prune = on;
+    return *this;
+  }
+  PipelineOptions& WithFusion(bool on) {
+    fusion = on;
+    return *this;
+  }
+  PipelineOptions& WithVectors(int vectors) {
+    n_v = vectors;
+    return *this;
+  }
+  PipelineOptions& WithThreads(int n) {
+    threads = n;
+    return *this;
+  }
+  PipelineOptions& WithStats(bool on) {
+    collect_stats = on;
+    return *this;
+  }
 };
 
 /// Algebraic aggregate accumulator: (sum, sum_sq, count, min, max) covers

@@ -7,6 +7,8 @@ namespace etsqp::sql {
 namespace {
 
 TokenKind KeywordKind(const std::string& lower) {
+  if (lower == "explain") return TokenKind::kExplain;
+  if (lower == "analyze") return TokenKind::kAnalyze;
   if (lower == "select") return TokenKind::kSelect;
   if (lower == "from") return TokenKind::kFrom;
   if (lower == "where") return TokenKind::kWhere;

@@ -27,6 +27,8 @@ enum class TokenKind {
   kGe,
   kEq,
   // Keywords.
+  kExplain,
+  kAnalyze,
   kSelect,
   kFrom,
   kWhere,

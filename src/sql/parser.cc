@@ -10,6 +10,10 @@ class Parser {
 
   Result<SelectStatement> ParseStatement() {
     SelectStatement stmt;
+    if (Accept(TokenKind::kExplain)) {
+      stmt.explain = true;
+      stmt.analyze = Accept(TokenKind::kAnalyze);
+    }
     ETSQP_RETURN_IF_ERROR(Expect(TokenKind::kSelect, "SELECT"));
     ETSQP_RETURN_IF_ERROR(ParseSelectItem(&stmt.item));
     ETSQP_RETURN_IF_ERROR(Expect(TokenKind::kFrom, "FROM"));

@@ -45,6 +45,10 @@ struct SelectItem {
 };
 
 struct SelectStatement {
+  /// EXPLAIN [ANALYZE] prefix: explain renders the compiled plan; analyze
+  /// additionally executes and annotates it with the measured profile.
+  bool explain = false;
+  bool analyze = false;
   SelectItem item;
   std::vector<std::string> tables;  // FROM list (1 or 2)
   std::vector<Comparison> predicates;

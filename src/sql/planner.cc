@@ -46,6 +46,10 @@ Result<exec::LogicalPlan> PlanStatement(const SelectStatement& stmt) {
     return Status::InvalidArgument("sql: missing FROM table");
   }
   plan.series = stmt.tables[0];
+  if (stmt.explain) {
+    plan.explain = stmt.analyze ? exec::LogicalPlan::ExplainMode::kAnalyze
+                                : exec::LogicalPlan::ExplainMode::kPlan;
+  }
 
   // Separate single-column predicates (pushed into the decoding pipelines,
   // Eq. 1) from inter-column ones (applied to decoded vectors, Eq. 3).

@@ -165,15 +165,15 @@ TEST_P(EngineMatrixTest, SlidingWindowSums) {
 
 INSTANTIATE_TEST_SUITE_P(
     Engines, EngineMatrixTest,
-    ::testing::Values(EngineCase{"etsqp", EtsqpOptions(1)},
-                      EngineCase{"etsqp4", EtsqpOptions(4)},
-                      EngineCase{"etsqp_prune", EtsqpPruneOptions(1)},
-                      EngineCase{"etsqp_prune4", EtsqpPruneOptions(4)},
-                      EngineCase{"serial", SerialOptions()},
-                      EngineCase{"sboost", SboostOptions(2)},
+    ::testing::Values(EngineCase{"etsqp", PipelineOptions::Etsqp(1)},
+                      EngineCase{"etsqp4", PipelineOptions::Etsqp(4)},
+                      EngineCase{"etsqp_prune", PipelineOptions::EtsqpPrune(1)},
+                      EngineCase{"etsqp_prune4", PipelineOptions::EtsqpPrune(4)},
+                      EngineCase{"serial", PipelineOptions::Serial()},
+                      EngineCase{"sboost", PipelineOptions::Sboost(2)},
                       EngineCase{"nofusion",
                                  [] {
-                                   PipelineOptions o = EtsqpOptions(1);
+                                   PipelineOptions o = PipelineOptions::Etsqp(1);
                                    o.fusion = false;
                                    return o;
                                  }()}),
@@ -184,7 +184,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(EngineTest, DeltaRleValueEncodingAgrees) {
   Fixture a = MakeFixture(8000, 89, 1000, enc::ColumnEncoding::kTs2Diff);
   Fixture b = MakeFixture(8000, 89, 1000, enc::ColumnEncoding::kDeltaRle);
-  Engine engine(EtsqpOptions(1));
+  Engine engine(PipelineOptions::Etsqp(1));
   for (AggFunc func : {AggFunc::kSum, AggFunc::kAvg, AggFunc::kVariance}) {
     LogicalPlan plan = LogicalPlan::Aggregate("ts", func);
     auto ra = engine.Execute(plan, a.store);
@@ -209,8 +209,8 @@ TEST(EngineTest, FastLanesStoreAgrees) {
                   .ok());
   ASSERT_TRUE(fl_store.Flush().ok());
 
-  Engine etsqp(EtsqpOptions(1));
-  Engine fastlanes(FastLanesOptions(1));
+  Engine etsqp(PipelineOptions::Etsqp(1));
+  Engine fastlanes(PipelineOptions::FastLanes(1));
   LogicalPlan plan = LogicalPlan::Aggregate("ts", AggFunc::kSum);
   plan.time_filter = TimeRange{1000, 20000};
   auto ra = etsqp.Execute(plan, ref.store);
@@ -224,8 +224,8 @@ TEST(EngineTest, FastLanesStoreAgrees) {
 
 TEST(EngineTest, PruningReducesWorkNotResults) {
   Fixture f = MakeFixture(50000, 101, 2000);
-  Engine plain(EtsqpOptions(1));
-  Engine pruned(EtsqpPruneOptions(1));
+  Engine plain(PipelineOptions::Etsqp(1));
+  Engine pruned(PipelineOptions::EtsqpPrune(1));
   LogicalPlan plan = LogicalPlan::Aggregate("ts", AggFunc::kSum);
   int64_t tmax = f.times.back();
   plan.time_filter = TimeRange{tmax / 2, tmax / 2 + tmax / 20};
@@ -239,7 +239,7 @@ TEST(EngineTest, PruningReducesWorkNotResults) {
 
 TEST(EngineTest, SelectReturnsFilteredTuples) {
   Fixture f = MakeFixture(5000, 103);
-  Engine engine(EtsqpOptions(2));
+  Engine engine(PipelineOptions::Etsqp(2));
   LogicalPlan plan;
   plan.kind = LogicalPlan::Kind::kSelect;
   plan.series = "ts";
@@ -280,7 +280,7 @@ TEST(EngineTest, UnionMergesByTime) {
                   .ok());
   ASSERT_TRUE(a.store.Flush("ts2").ok());
 
-  Engine engine(EtsqpOptions(2));
+  Engine engine(PipelineOptions::Etsqp(2));
   LogicalPlan plan;
   plan.kind = LogicalPlan::Kind::kUnion;
   plan.series = "ts";
@@ -310,7 +310,7 @@ TEST(EngineTest, JoinFindsEqualTimestamps) {
   ASSERT_TRUE(store.AppendBatch("b", t2.data(), v2.data(), t2.size()).ok());
   ASSERT_TRUE(store.Flush().ok());
 
-  Engine engine(EtsqpOptions(2));
+  Engine engine(PipelineOptions::Etsqp(2));
   LogicalPlan plan;
   plan.kind = LogicalPlan::Kind::kJoin;
   plan.series = "a";
@@ -345,7 +345,7 @@ TEST(EngineTest, InterColumnFilterOnJoin) {
   ASSERT_TRUE(store.AppendBatch("b", t.data(), v2.data(), t.size()).ok());
   ASSERT_TRUE(store.Flush().ok());
 
-  Engine engine(EtsqpOptions(2));
+  Engine engine(PipelineOptions::Etsqp(2));
   LogicalPlan plan;
   plan.kind = LogicalPlan::Kind::kJoin;
   plan.series = "a";
@@ -377,7 +377,7 @@ TEST(EngineTest, ProjectBinaryAddsAlignedValues) {
   ASSERT_TRUE(store.AppendBatch("b", t.data(), v2.data(), t.size()).ok());
   ASSERT_TRUE(store.Flush().ok());
 
-  Engine engine(EtsqpOptions(2));
+  Engine engine(PipelineOptions::Etsqp(2));
   LogicalPlan plan;
   plan.kind = LogicalPlan::Kind::kProjectBinary;
   plan.series = "a";
@@ -442,7 +442,7 @@ CorrFixture MakeCorrFixture(enc::ColumnEncoding venc) {
 
 TEST(EngineTest, CorrelateFusedMatchesReference) {
   CorrFixture f = MakeCorrFixture(enc::ColumnEncoding::kDeltaRle);
-  Engine engine(EtsqpOptions(2));
+  Engine engine(PipelineOptions::Etsqp(2));
   LogicalPlan plan;
   plan.kind = LogicalPlan::Kind::kCorrelate;
   plan.series = "a";
@@ -465,7 +465,7 @@ TEST(EngineTest, CorrelateGeneralPathMatchesFused) {
   plan.kind = LogicalPlan::Kind::kCorrelate;
   plan.series = "a";
   plan.series_right = "b";
-  Engine engine(EtsqpOptions(1));
+  Engine engine(PipelineOptions::Etsqp(1));
   auto ra = engine.Execute(plan, fused.store);
   auto rb = engine.Execute(plan, plain.store);
   ASSERT_TRUE(ra.ok() && rb.ok());
@@ -492,7 +492,7 @@ TEST(EngineTest, CorrelateAntiCorrelated) {
   plan.kind = LogicalPlan::Kind::kCorrelate;
   plan.series = "a";
   plan.series_right = "b";
-  Engine engine(EtsqpOptions(1));
+  Engine engine(PipelineOptions::Etsqp(1));
   auto result = engine.Execute(plan, store);
   ASSERT_TRUE(result.ok());
   EXPECT_NEAR(result.value().columns[0][0], -1.0, 1e-9);
@@ -500,7 +500,7 @@ TEST(EngineTest, CorrelateAntiCorrelated) {
 
 TEST(EngineTest, MissingSeriesReported) {
   storage::SeriesStore store;
-  Engine engine(EtsqpOptions(1));
+  Engine engine(PipelineOptions::Etsqp(1));
   LogicalPlan plan = LogicalPlan::Aggregate("ghost", AggFunc::kSum);
   Result<QueryResult> result = engine.Execute(plan, store);
   EXPECT_FALSE(result.ok());
@@ -509,7 +509,7 @@ TEST(EngineTest, MissingSeriesReported) {
 
 TEST(EngineTest, EmptyTimeRangeYieldsZeroCount) {
   Fixture f = MakeFixture(1000, 113);
-  Engine engine(EtsqpPruneOptions(1));
+  Engine engine(PipelineOptions::EtsqpPrune(1));
   LogicalPlan plan = LogicalPlan::Aggregate("ts", AggFunc::kCount);
   plan.time_filter = TimeRange{f.times.back() + 100, f.times.back() + 200};
   Result<QueryResult> result = engine.Execute(plan, f.store);
@@ -526,11 +526,11 @@ TEST(EngineTest, FileBackedAggregationMatchesInMemory) {
   fopt.memory_budget_bytes = 1 << 16;  // force gradual loading + eviction
   ASSERT_TRUE(fbs.Open(path, fopt).ok());
 
-  Engine engine(EtsqpPruneOptions(2));
+  Engine engine(PipelineOptions::EtsqpPrune(2));
   LogicalPlan plan = LogicalPlan::Aggregate("ts", AggFunc::kSum);
   plan.time_filter = TimeRange{f.times[2000], f.times[20000]};
   auto mem = engine.Execute(plan, f.store);
-  auto file = engine.ExecuteOnFile(plan, &fbs);
+  auto file = engine.Execute(plan, &fbs);
   ASSERT_TRUE(mem.ok()) << mem.status().ToString();
   ASSERT_TRUE(file.ok()) << file.status().ToString();
   EXPECT_EQ(mem.value().columns[0][0], file.value().columns[0][0]);
@@ -544,7 +544,7 @@ TEST(EngineTest, FileBackedAggregationMatchesInMemory) {
   wplan.window.t_min = f.times[0];
   wplan.window.delta_t = (f.times.back() - f.times[0]) / 7 + 1;
   auto wmem = engine.Execute(wplan, f.store);
-  auto wfile = engine.ExecuteOnFile(wplan, &fbs);
+  auto wfile = engine.Execute(wplan, &fbs);
   ASSERT_TRUE(wmem.ok() && wfile.ok());
   ASSERT_EQ(wmem.value().num_rows(), wfile.value().num_rows());
   for (size_t r = 0; r < wmem.value().num_rows(); ++r) {
@@ -555,8 +555,8 @@ TEST(EngineTest, FileBackedAggregationMatchesInMemory) {
 
 TEST(PipeBuilderTest, SlicesOnlyWhenCoresExceedPages) {
   Fixture f = MakeFixture(40960, 127, 8192);  // 5 pages of 8 blocks each
-  PipelineOptions few = EtsqpOptions(4);
-  PipelineOptions many = EtsqpOptions(16);
+  PipelineOptions few = PipelineOptions::Etsqp(4);
+  PipelineOptions many = PipelineOptions::Etsqp(16);
   LogicalPlan plan = LogicalPlan::Aggregate("ts", AggFunc::kSum);
   auto spec_few = BuildPipeline(plan, f.store, few);
   auto spec_many = BuildPipeline(plan, f.store, many);
@@ -574,7 +574,7 @@ TEST(PipeBuilderTest, SlicesOnlyWhenCoresExceedPages) {
 
 TEST(PipeBuilderTest, PrunesPagesByHeaderStats) {
   Fixture f = MakeFixture(20000, 131, 1000);
-  PipelineOptions opt = EtsqpPruneOptions(1);
+  PipelineOptions opt = PipelineOptions::EtsqpPrune(1);
   LogicalPlan plan = LogicalPlan::Aggregate("ts", AggFunc::kSum);
   plan.time_filter = TimeRange{f.times[500], f.times[1500]};
   auto spec = BuildPipeline(plan, f.store, opt);

@@ -59,7 +59,7 @@ TEST(PipelineEdgeTest, SumOverflowSurfacesAsStatus) {
   ASSERT_TRUE(store.AppendBatch("big", t.data(), v.data(), t.size()).ok());
   ASSERT_TRUE(store.Flush().ok());
   for (const PipelineOptions& o :
-       {EtsqpOptions(1), SerialOptions(), SboostOptions(1)}) {
+       {PipelineOptions::Etsqp(1), PipelineOptions::Serial(), PipelineOptions::Sboost(1)}) {
     Engine engine(o);
     LogicalPlan plan = LogicalPlan::Aggregate("big", AggFunc::kSum);
     auto result = engine.Execute(plan, store);
@@ -106,7 +106,7 @@ TEST(PipelineEdgeTest, AggAccumFinalizeBranches) {
 
 TEST(PipelineEdgeTest, EmptyValueRangeYieldsEmptyAggregates) {
   Fx f = Make(3000, 3);
-  Engine engine(EtsqpPruneOptions(1));
+  Engine engine(PipelineOptions::EtsqpPrune(1));
   LogicalPlan plan = LogicalPlan::Aggregate("s", AggFunc::kAvg);
   plan.value_filter.active = true;
   plan.value_filter.lo = 100;
@@ -118,7 +118,7 @@ TEST(PipelineEdgeTest, EmptyValueRangeYieldsEmptyAggregates) {
 
 TEST(PipelineEdgeTest, WindowPastDataYieldsNoRows) {
   Fx f = Make(1000, 5);
-  Engine engine(EtsqpOptions(1));
+  Engine engine(PipelineOptions::Etsqp(1));
   LogicalPlan plan = LogicalPlan::Aggregate("s", AggFunc::kSum);
   plan.window.active = true;
   plan.window.t_min = f.times.back() + 1000;
@@ -133,7 +133,7 @@ TEST(PipelineEdgeTest, GorillaTimeColumnPositionsWork) {
   // position path of SlicePositions.
   Fx f = Make(5000, 7, enc::ColumnEncoding::kTs2Diff,
               enc::ColumnEncoding::kGorilla);
-  Engine engine(EtsqpOptions(1));
+  Engine engine(PipelineOptions::Etsqp(1));
   LogicalPlan plan = LogicalPlan::Aggregate("s", AggFunc::kSum);
   plan.time_filter = TimeRange{f.times[1000], f.times[4000]};
   auto result = engine.Execute(plan, f.store);
@@ -146,8 +146,8 @@ TEST(PipelineEdgeTest, GorillaTimeColumnPositionsWork) {
 
 TEST(PipelineEdgeTest, DeltaRleWindowedFusion) {
   Fx f = Make(9000, 11, enc::ColumnEncoding::kDeltaRle);
-  Engine fused(EtsqpOptions(1));
-  Engine serial(SerialOptions());
+  Engine fused(PipelineOptions::Etsqp(1));
+  Engine serial(PipelineOptions::Serial());
   LogicalPlan plan = LogicalPlan::Aggregate("s", AggFunc::kSum);
   plan.window.active = true;
   plan.window.t_min = 0;
@@ -163,7 +163,7 @@ TEST(PipelineEdgeTest, DeltaRleWindowedFusion) {
 
 TEST(PipelineEdgeTest, WindowedMinMaxCountMatchReference) {
   Fx f = Make(8000, 17);
-  Engine engine(EtsqpOptions(2));
+  Engine engine(PipelineOptions::Etsqp(2));
   for (AggFunc func : {AggFunc::kMin, AggFunc::kMax, AggFunc::kCount,
                        AggFunc::kVariance}) {
     LogicalPlan plan = LogicalPlan::Aggregate("s", func);
@@ -206,7 +206,7 @@ TEST(PipelineEdgeTest, SlicePartitionsSumToWhole) {
   auto series = f.store.GetSeries("s");
   ASSERT_TRUE(series.ok());
   const storage::Page& page = series.value()->pages[0];
-  PipelineOptions opt = EtsqpOptions(1);
+  PipelineOptions opt = PipelineOptions::Etsqp(1);
   AggAccum whole;
   QueryStats st;
   ASSERT_TRUE(AggregateSlice(page, 0, page.header.count, TimeRange{},

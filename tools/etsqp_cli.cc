@@ -5,10 +5,13 @@
 //
 // Inside the shell:
 //   .series              list series
-//   .stats               execution counters of the last query
+//   .stats               execution counters of the last query (per-stage
+//                        breakdown when .profile is on)
+//   .profile [on|off]    collect per-stage ExecStats for every query
 //   .mode simd|scalar    switch the engine (IoTDB-SIMD vs IoTDB)
 //   .threads N           worker threads
 //   SELECT ...;          any Table III dialect statement
+//   EXPLAIN [ANALYZE] SELECT ...;   show the compiled Pipe plan
 //   .quit
 
 #include <cstdio>
@@ -16,6 +19,7 @@
 #include <string>
 
 #include "db/iotdb_lite.h"
+#include "exec/explain.h"
 #include "workload/generators.h"
 
 namespace {
@@ -108,36 +112,27 @@ int main(int argc, char** argv) {
       continue;
     }
     if (cmd == ".stats") {
-      std::printf(
-          "pages: %llu total, %llu pruned | blocks pruned: %llu |\n"
-          "tuples: %llu in pages, %llu scanned | bytes loaded: %llu\n",
-          static_cast<unsigned long long>(last_stats.pages_total),
-          static_cast<unsigned long long>(last_stats.pages_pruned),
-          static_cast<unsigned long long>(last_stats.blocks_pruned),
-          static_cast<unsigned long long>(last_stats.tuples_in_pages),
-          static_cast<unsigned long long>(last_stats.tuples_scanned),
-          static_cast<unsigned long long>(last_stats.bytes_loaded));
+      std::fputs(exec::RenderStats(last_stats).c_str(), stdout);
+      continue;
+    }
+    if (cmd.rfind(".profile", 0) == 0) {
+      bool on = cmd.find("off") == std::string::npos;
+      dbi.SetCollectStats(on);
+      std::printf("profile: %s\n", on ? "on" : "off");
       continue;
     }
     if (cmd.rfind(".mode", 0) == 0) {
       mode = cmd.find("scalar") != std::string::npos
                  ? db::IotDbLite::Mode::kScalar
                  : db::IotDbLite::Mode::kSimd;
-      db::IotDbLite next(mode, threads);
-      Status reload = next.Load(argv[1]);
-      if (!reload.ok()) {
-        std::printf("reload failed: %s\n", reload.ToString().c_str());
-        continue;
-      }
-      dbi = std::move(next);
+      dbi.SetMode(mode);
       std::printf("engine: %s\n",
                   mode == db::IotDbLite::Mode::kSimd ? "IoTDB-SIMD" : "IoTDB");
       continue;
     }
     if (cmd.rfind(".threads", 0) == 0) {
       threads = std::max(1, std::atoi(cmd.c_str() + 8));
-      db::IotDbLite next(mode, threads);
-      if (next.Load(argv[1]).ok()) dbi = std::move(next);
+      dbi.SetThreads(threads);
       std::printf("threads: %d\n", threads);
       continue;
     }
@@ -146,7 +141,11 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    PrintResult(result.value());
+    if (!result.value().explain_text.empty()) {
+      std::fputs(result.value().explain_text.c_str(), stdout);
+    } else {
+      PrintResult(result.value());
+    }
     last_stats = result.value().stats;
   }
   return 0;
