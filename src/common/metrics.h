@@ -73,6 +73,44 @@ struct StageBreakdown {
   }
 };
 
+/// Executor-pool counters (exec::ThreadPool). `tasks` counts tasks run to
+/// completion; `steals` tasks acquired from a deque other than the runner's
+/// own (worker steals and helping TaskGroup waiters alike); `parks` worker
+/// sleeps and `park_nanos` the total slept time. On the pool these are
+/// cumulative since construction; in ExecStats they hold the pool-wide
+/// delta observed during the query window — under concurrent queries the
+/// delta includes sibling queries' activity (the pool is shared; that is
+/// the point).
+struct PoolStats {
+  uint64_t tasks = 0;
+  uint64_t steals = 0;
+  uint64_t parks = 0;
+  uint64_t park_nanos = 0;
+
+  void Merge(const PoolStats& o) {
+    tasks += o.tasks;
+    steals += o.steals;
+    parks += o.parks;
+    park_nanos += o.park_nanos;
+  }
+  bool empty() const {
+    return tasks == 0 && steals == 0 && parks == 0 && park_nanos == 0;
+  }
+};
+
+/// The delta of two cumulative pool snapshots (after - before), saturating
+/// at zero if the pool was shut down and restarted in between.
+inline PoolStats PoolStatsDelta(const PoolStats& before,
+                                const PoolStats& after) {
+  auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+  PoolStats d;
+  d.tasks = sub(after.tasks, before.tasks);
+  d.steals = sub(after.steals, before.steals);
+  d.parks = sub(after.parks, before.parks);
+  d.park_nanos = sub(after.park_nanos, before.park_nanos);
+  return d;
+}
+
 /// Monotonic timestamp in nanoseconds (steady clock).
 inline uint64_t NowNanos() {
   return static_cast<uint64_t>(

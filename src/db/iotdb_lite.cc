@@ -1,5 +1,6 @@
 #include "db/iotdb_lite.h"
 
+#include "exec/thread_pool.h"
 #include "sql/planner.h"
 #include "storage/tsfile.h"
 
@@ -28,20 +29,27 @@ IotDbLite::IotDbLite(Mode mode, int threads)
       engine_(ModeOptions(mode, threads, false)) {}
 
 void IotDbLite::RebuildEngine() {
+  // Caller holds engine_mu_ exclusively: no query observes a half-swap.
   engine_ = exec::Engine(ModeOptions(mode_, threads_, collect_stats_));
 }
 
 void IotDbLite::SetMode(Mode mode) {
+  std::unique_lock<std::shared_mutex> lock(*engine_mu_);
   mode_ = mode;
   RebuildEngine();
 }
 
 void IotDbLite::SetThreads(int threads) {
+  std::unique_lock<std::shared_mutex> lock(*engine_mu_);
   threads_ = threads > 0 ? threads : 1;
+  // Warm the shared pool to the new width so the first query at this
+  // setting does not pay worker spin-up (the query itself is one runner).
+  if (threads_ > 1) exec::ThreadPool::Global().Reserve(threads_ - 1);
   RebuildEngine();
 }
 
 void IotDbLite::SetCollectStats(bool on) {
+  std::unique_lock<std::shared_mutex> lock(*engine_mu_);
   collect_stats_ = on;
   RebuildEngine();
 }
@@ -52,11 +60,15 @@ Status IotDbLite::OpenFile(const std::string& path,
   storage::FileBackedStore::Options options;
   options.memory_budget_bytes = memory_budget_bytes;
   ETSQP_RETURN_IF_ERROR(store->Open(path, options));
+  std::unique_lock<std::shared_mutex> lock(*engine_mu_);
   file_store_ = std::move(store);
   return Status::Ok();
 }
 
-void IotDbLite::CloseFile() { file_store_.reset(); }
+void IotDbLite::CloseFile() {
+  std::unique_lock<std::shared_mutex> lock(*engine_mu_);
+  file_store_.reset();
+}
 
 Status IotDbLite::CreateTimeseries(const std::string& name,
                                    uint32_t page_size) {
@@ -173,6 +185,10 @@ Status IotDbLite::ExportCsv(const std::string& series,
 Result<exec::QueryResult> IotDbLite::Query(const std::string& sql) const {
   Result<exec::LogicalPlan> plan = sql::PlanQuery(sql);
   if (!plan.ok()) return plan.status();
+  // Shared lock: any number of concurrent queries execute on the shared
+  // pool; reconfiguration (SetMode/SetThreads/OpenFile/...) takes the
+  // exclusive side and waits them out.
+  std::shared_lock<std::shared_mutex> lock(*engine_mu_);
   exec::StoreHandle handle =
       file_store_ != nullptr ? exec::StoreHandle(file_store_.get())
                              : exec::StoreHandle(store_);

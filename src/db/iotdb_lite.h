@@ -2,6 +2,7 @@
 #define ETSQP_DB_IOTDB_LITE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "common/status.h"
@@ -19,6 +20,14 @@ namespace etsqp::db {
 /// The Figure 13 comparison maps to engine modes:
 ///   IoTDB       = Mode::kScalar  (serial decoding, no vector sharing)
 ///   IoTDB-SIMD  = Mode::kSimd    (this paper's integrated engine)
+///
+/// Concurrency: Query() is safe to call from many threads at once — all
+/// queries execute on the process-wide executor pool (exec/thread_pool.h),
+/// each bounded by the configured thread count, and an engine-level
+/// reader/writer lock serializes the reconfiguration calls (SetMode /
+/// SetThreads / SetCollectStats / OpenFile / CloseFile) against in-flight
+/// queries. Ingestion (Insert*/Flush/Load) is NOT synchronized against
+/// concurrent queries; quiesce queries before mutating the store.
 class IotDbLite {
  public:
   enum class Mode { kScalar, kSimd };
@@ -52,8 +61,11 @@ class IotDbLite {
   Result<exec::QueryResult> Query(const std::string& sql) const;
 
   /// Reconfigure the engine without rebuilding the database. Existing data
-  /// (in-memory series, attached file store) is untouched.
+  /// (in-memory series, attached file store) is untouched. Safe while other
+  /// threads run Query(): reconfiguration waits for in-flight queries.
   void SetMode(Mode mode);
+  /// Also reserves capacity on the shared executor pool so the first query
+  /// at the new width does not pay worker spin-up.
   void SetThreads(int threads);
   /// Per-stage ExecStats collection for subsequent queries (EXPLAIN ANALYZE
   /// forces it on for its own run regardless).
@@ -96,6 +108,12 @@ class IotDbLite {
   bool collect_stats_ = false;
   storage::SeriesStore store_;
   std::unique_ptr<storage::FileBackedStore> file_store_;
+  /// Readers = Query() executions; writers = engine reconfiguration and
+  /// file-store attach/detach. Keeps concurrent queries from observing a
+  /// half-rebuilt engine. Heap-held so IotDbLite stays movable (moving a
+  /// database while queries are in flight is already a caller error).
+  mutable std::unique_ptr<std::shared_mutex> engine_mu_ =
+      std::make_unique<std::shared_mutex>();
   exec::Engine engine_;
 };
 

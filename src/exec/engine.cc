@@ -12,7 +12,7 @@
 #include "exec/explain.h"
 #include "exec/fusion.h"
 #include "exec/pipe_builder.h"
-#include "exec/scheduler.h"
+#include "exec/pipeline_job.h"
 #include "simd/filter_simd.h"
 
 namespace etsqp::exec {
@@ -76,9 +76,8 @@ Status MaterializeInputs(const LogicalPlan& plan,
                          const PipelineSpec& spec,
                          std::vector<Materialized>* inputs,
                          QueryStats* stats) {
-  // Per-job local buffers, stitched afterwards to preserve order.
+  // Per-job local buffers, stitched by the merge step to preserve order.
   std::vector<Materialized> locals(spec.jobs.size());
-  std::vector<Status> statuses(spec.jobs.size());
   std::vector<QueryStats> job_stats(spec.jobs.size());
 
   std::vector<const storage::SeriesStore::Series*> series(2, nullptr);
@@ -93,28 +92,29 @@ Status MaterializeInputs(const LogicalPlan& plan,
     series[1] = right.value();
   }
 
-  RunJobs(spec.jobs.size(), options.threads, [&](size_t i) {
+  PipelineJobSet set;
+  set.num_jobs = spec.jobs.size();
+  set.job = [&](size_t i) -> Status {
     const PipeJob& job = spec.jobs[i];
     const storage::Page& page = series[job.input]->pages[job.page_index];
-    statuses[i] = MaterializeSlice(page, job.begin, job.end,
-                                   plan.time_filter, plan.value_filter,
-                                   options, &locals[i].times,
-                                   &locals[i].values, &job_stats[i]);
-  });
-  for (size_t i = 0; i < spec.jobs.size(); ++i) {
-    if (!statuses[i].ok()) return statuses[i];
-    stats->Merge(job_stats[i]);
-  }
-  // Jobs were emitted in (input, page, slice) order; concatenation keeps
-  // time order within each input.
-  for (size_t i = 0; i < spec.jobs.size(); ++i) {
-    Materialized& dst = (*inputs)[spec.jobs[i].input];
-    dst.times.insert(dst.times.end(), locals[i].times.begin(),
-                     locals[i].times.end());
-    dst.values.insert(dst.values.end(), locals[i].values.begin(),
-                      locals[i].values.end());
-  }
-  return Status::Ok();
+    return MaterializeSlice(page, job.begin, job.end, plan.time_filter,
+                            plan.value_filter, options, &locals[i].times,
+                            &locals[i].values, &job_stats[i]);
+  };
+  set.merge = [&]() -> Status {
+    // Jobs were emitted in (input, page, slice) order; concatenation keeps
+    // time order within each input.
+    for (size_t i = 0; i < spec.jobs.size(); ++i) {
+      stats->Merge(job_stats[i]);
+      Materialized& dst = (*inputs)[spec.jobs[i].input];
+      dst.times.insert(dst.times.end(), locals[i].times.begin(),
+                       locals[i].times.end());
+      dst.values.insert(dst.values.end(), locals[i].values.begin(),
+                        locals[i].values.end());
+    }
+    return Status::Ok();
+  };
+  return RunPipelineJobs(set, options, stats);
 }
 
 }  // namespace
@@ -197,10 +197,11 @@ Result<QueryResult> Engine::ExecuteFile(
   std::mutex mu;
   std::map<int64_t, AggAccum> windows;
   AggAccum total;
-  Status first_error;
   QueryStats run_stats;
 
-  RunJobs(jobs.size(), options_.threads, [&](size_t i) {
+  PipelineJobSet set;
+  set.num_jobs = jobs.size();
+  set.job = [&](size_t i) -> Status {
     QueryStats local_stats;
     Result<std::shared_ptr<const storage::Page>> page = [&] {
       ScopedStageTimer fetch(StagesOf(options_, &local_stats),
@@ -226,36 +227,38 @@ Result<QueryResult> Engine::ExecuteFile(
                                 &local, &local_stats);
     }
     std::lock_guard<std::mutex> lock(mu);
-    if (!st.ok() && first_error.ok()) first_error = st;
     for (const auto& [k, acc] : local_windows) windows[k].Merge(acc);
     total.Merge(local);
     run_stats.Merge(local_stats);
-  });
-  if (!first_error.ok()) return first_error;
-  result.stats.Merge(run_stats);
-
-  ScopedStageTimer merge_timer(StagesOf(options_, &result.stats),
-                               Stage::kMerge);
-  if (plan.window.active) {
-    result.column_names = {"window_start", AggFuncName(plan.func)};
-    result.columns.assign(2, {});
-    for (const auto& [k, acc] : windows) {
+    return st;
+  };
+  set.merge = [&]() -> Status {
+    result.stats.Merge(run_stats);
+    ScopedStageTimer merge_timer(StagesOf(options_, &result.stats),
+                                 Stage::kMerge);
+    if (plan.window.active) {
+      result.column_names = {"window_start", AggFuncName(plan.func)};
+      result.columns.assign(2, {});
+      for (const auto& [k, acc] : windows) {
+        double v = 0;
+        Status st = acc.Finalize(plan.func, &v);
+        if (st.code() == StatusCode::kOverflow) return st;
+        if (!st.ok()) continue;
+        result.columns[0].push_back(
+            static_cast<double>(plan.window.WindowStart(k)));
+        result.columns[1].push_back(v);
+      }
+    } else {
+      result.column_names = {AggFuncName(plan.func)};
+      result.columns.assign(1, {});
       double v = 0;
-      Status st = acc.Finalize(plan.func, &v);
+      Status st = total.Finalize(plan.func, &v);
       if (st.code() == StatusCode::kOverflow) return st;
-      if (!st.ok()) continue;
-      result.columns[0].push_back(
-          static_cast<double>(plan.window.WindowStart(k)));
-      result.columns[1].push_back(v);
+      if (st.ok()) result.columns[0].push_back(v);
     }
-  } else {
-    result.column_names = {AggFuncName(plan.func)};
-    result.columns.assign(1, {});
-    double v = 0;
-    Status st = total.Finalize(plan.func, &v);
-    if (st.code() == StatusCode::kOverflow) return st;
-    if (st.ok()) result.columns[0].push_back(v);
-  }
+    return Status::Ok();
+  };
+  ETSQP_RETURN_IF_ERROR(RunPipelineJobs(set, options_, &result.stats));
   result.stats.result_tuples = result.num_rows();
   return result;
 }
@@ -281,10 +284,11 @@ Result<QueryResult> Engine::ExecuteAggregate(
   std::map<int64_t, FloatAggAccum> fwindows;
   AggAccum total;
   FloatAggAccum ftotal;
-  Status first_error;
   QueryStats run_stats;
 
-  RunJobs(spec.value().jobs.size(), options_.threads, [&](size_t i) {
+  PipelineJobSet set;
+  set.num_jobs = spec.value().jobs.size();
+  set.job = [&](size_t i) -> Status {
     const PipeJob& job = spec.value().jobs[i];
     const storage::Page& page = pages[job.page_index];
     QueryStats local_stats;
@@ -296,7 +300,6 @@ Result<QueryResult> Engine::ExecuteAggregate(
                                       &local_stats);
       std::lock_guard<std::mutex> lock(mu);
       for (const auto& [k, acc] : local) fwindows[k].Merge(acc);
-      if (!st.ok() && first_error.ok()) first_error = st;
       run_stats.Merge(local_stats);
     } else if (is_float) {
       FloatAggAccum local;
@@ -305,7 +308,6 @@ Result<QueryResult> Engine::ExecuteAggregate(
                                &local_stats);
       std::lock_guard<std::mutex> lock(mu);
       ftotal.Merge(local);
-      if (!st.ok() && first_error.ok()) first_error = st;
       run_stats.Merge(local_stats);
     } else if (plan.window.active) {
       std::map<int64_t, AggAccum> local;
@@ -313,7 +315,6 @@ Result<QueryResult> Engine::ExecuteAggregate(
                                  plan.func, options_, &local, &local_stats);
       std::lock_guard<std::mutex> lock(mu);
       for (const auto& [k, acc] : local) windows[k].Merge(acc);
-      if (!st.ok() && first_error.ok()) first_error = st;
       run_stats.Merge(local_stats);
     } else {
       AggAccum local;
@@ -322,46 +323,48 @@ Result<QueryResult> Engine::ExecuteAggregate(
                           &local_stats);
       std::lock_guard<std::mutex> lock(mu);
       total.Merge(local);
-      if (!st.ok() && first_error.ok()) first_error = st;
       run_stats.Merge(local_stats);
     }
-  });
-  if (!first_error.ok()) return first_error;
-  result.stats.Merge(run_stats);
-
-  ScopedStageTimer merge_timer(StagesOf(options_, &result.stats),
-                               Stage::kMerge);
-  if (plan.window.active) {
-    result.column_names = {"window_start", AggFuncName(plan.func)};
-    result.columns.assign(2, {});
-    auto emit = [&](int64_t k, double v) {
-      result.columns[0].push_back(
-          static_cast<double>(plan.window.WindowStart(k)));
-      result.columns[1].push_back(v);
-    };
-    if (is_float) {
-      for (const auto& [k, acc] : fwindows) {
-        double v = 0;
-        if (acc.Finalize(plan.func, &v).ok()) emit(k, v);
+    return st;
+  };
+  set.merge = [&]() -> Status {
+    result.stats.Merge(run_stats);
+    ScopedStageTimer merge_timer(StagesOf(options_, &result.stats),
+                                 Stage::kMerge);
+    if (plan.window.active) {
+      result.column_names = {"window_start", AggFuncName(plan.func)};
+      result.columns.assign(2, {});
+      auto emit = [&](int64_t k, double v) {
+        result.columns[0].push_back(
+            static_cast<double>(plan.window.WindowStart(k)));
+        result.columns[1].push_back(v);
+      };
+      if (is_float) {
+        for (const auto& [k, acc] : fwindows) {
+          double v = 0;
+          if (acc.Finalize(plan.func, &v).ok()) emit(k, v);
+        }
+      } else {
+        for (const auto& [k, acc] : windows) {
+          double v = 0;
+          Status st = acc.Finalize(plan.func, &v);
+          if (st.code() == StatusCode::kOverflow) return st;
+          if (!st.ok()) continue;  // empty window
+          emit(k, v);
+        }
       }
     } else {
-      for (const auto& [k, acc] : windows) {
-        double v = 0;
-        Status st = acc.Finalize(plan.func, &v);
-        if (st.code() == StatusCode::kOverflow) return st;
-        if (!st.ok()) continue;  // empty window
-        emit(k, v);
-      }
+      result.column_names = {AggFuncName(plan.func)};
+      result.columns.assign(1, {});
+      double v = 0;
+      Status st = is_float ? ftotal.Finalize(plan.func, &v)
+                           : total.Finalize(plan.func, &v);
+      if (st.code() == StatusCode::kOverflow) return st;
+      if (st.ok()) result.columns[0].push_back(v);
     }
-  } else {
-    result.column_names = {AggFuncName(plan.func)};
-    result.columns.assign(1, {});
-    double v = 0;
-    Status st = is_float ? ftotal.Finalize(plan.func, &v)
-                         : total.Finalize(plan.func, &v);
-    if (st.code() == StatusCode::kOverflow) return st;
-    if (st.ok()) result.columns[0].push_back(v);
-  }
+    return Status::Ok();
+  };
+  ETSQP_RETURN_IF_ERROR(RunPipelineJobs(set, options_, &result.stats));
   result.stats.result_tuples = result.num_rows();
   return result;
 }
@@ -556,10 +559,11 @@ Result<QueryResult> Engine::ExecuteCorrelate(
     // <delta, run> structure — SUM, SUM^2 (FusedAggDeltaRle) and the
     // cross-product polynomial (FusedCrossDeltaRle). No value decoding.
     std::mutex mu;
-    Status first_error;
     const auto& pa = left.value()->pages;
     const auto& pb = right.value()->pages;
-    RunJobs(pa.size(), options_.threads, [&](size_t p) {
+    PipelineJobSet set;
+    set.num_jobs = pa.size();
+    set.job = [&](size_t p) -> Status {
       auto ca = enc::DeltaRleColumn::Parse(pa[p].value_data.data(),
                                            pa[p].value_data.size());
       auto cb = enc::DeltaRleColumn::Parse(pb[p].value_data.data(),
@@ -589,7 +593,6 @@ Result<QueryResult> Engine::ExecuteCorrelate(
         }
       }
       std::lock_guard<std::mutex> lock(mu);
-      if (!st.ok() && first_error.ok()) first_error = st;
       accum.sum_a += local.sum_a;
       accum.sum_b += local.sum_b;
       accum.sum_a2 += local.sum_a2;
@@ -600,9 +603,13 @@ Result<QueryResult> Engine::ExecuteCorrelate(
       result.stats.tuples_in_pages += 2 * pa[p].header.count;
       result.stats.bytes_loaded +=
           pa[p].encoded_bytes() + pb[p].encoded_bytes();
-    });
-    if (!first_error.ok()) return first_error;
-    accum.Finish(&result);
+      return st;
+    };
+    set.merge = [&]() -> Status {
+      accum.Finish(&result);
+      return Status::Ok();
+    };
+    ETSQP_RETURN_IF_ERROR(RunPipelineJobs(set, options_, &result.stats));
     result.stats.result_tuples = result.num_rows();
     return result;
   }

@@ -135,6 +135,15 @@ std::string RenderStats(const ExecStats& stats) {
     AppendTime(&out, stats.wall_nanos);
     Appendf(&out, "  threads: %d\n", stats.threads > 0 ? stats.threads : 1);
   }
+  if (!stats.pool.empty() || stats.pool_workers > 0) {
+    Appendf(&out,
+            "pool: workers=%d tasks=%" PRIu64 " steals=%" PRIu64
+            " parks=%" PRIu64 " parked=",
+            stats.pool_workers, stats.pool.tasks, stats.pool.steals,
+            stats.pool.parks);
+    AppendTime(&out, stats.pool.park_nanos);
+    out += '\n';
+  }
   Appendf(&out,
           "pages: total=%" PRIu64 " pruned=%" PRIu64 " blocks_pruned=%" PRIu64
           "\n",

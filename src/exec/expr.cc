@@ -49,6 +49,16 @@ std::string ExecStats::ToJson() const {
   AppendField(&out, "wall_nanos", wall_nanos, &first);
   AppendField(&out, "threads", static_cast<uint64_t>(threads > 0 ? threads : 0),
               &first);
+  AppendField(&out, "pool_workers",
+              static_cast<uint64_t>(pool_workers > 0 ? pool_workers : 0),
+              &first);
+  out += ", \"pool\": {";
+  bool pfirst = true;
+  AppendField(&out, "tasks", pool.tasks, &pfirst);
+  AppendField(&out, "steals", pool.steals, &pfirst);
+  AppendField(&out, "parks", pool.parks, &pfirst);
+  AppendField(&out, "park_nanos", pool.park_nanos, &pfirst);
+  out += "}";
   out += ", \"stages\": {";
   for (int i = 0; i < metrics::kNumStages; ++i) {
     const metrics::StageStats& s = stages.stages[i];

@@ -125,6 +125,14 @@ struct ExecStats {
   uint64_t wall_nanos = 0;         // whole-query wall clock (engine level)
   int threads = 0;                 // worker threads configured for the run
 
+  // Populated only under collect_stats for parallel runs on the shared
+  // executor pool: the pool-wide counter delta (tasks, steals, parks,
+  // parked time) observed during the run, and the pool's worker count.
+  // Under concurrent queries the delta includes sibling queries' pool
+  // activity — the pool is shared by design.
+  metrics::PoolStats pool;
+  int pool_workers = 0;
+
   void Merge(const ExecStats& o) {
     pages_total += o.pages_total;
     pages_pruned += o.pages_pruned;
@@ -136,6 +144,8 @@ struct ExecStats {
     stages.Merge(o.stages);
     if (o.wall_nanos > wall_nanos) wall_nanos = o.wall_nanos;
     if (o.threads > threads) threads = o.threads;
+    pool.Merge(o.pool);
+    if (o.pool_workers > pool_workers) pool_workers = o.pool_workers;
   }
 
   /// One-line-per-field JSON object (counters, and — when collected — the

@@ -1,0 +1,56 @@
+#include "exec/pipeline_job.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "exec/thread_pool.h"
+
+namespace etsqp::exec {
+
+Status RunPipelineJobs(const PipelineJobSet& set,
+                       const PipelineOptions& options, ExecStats* stats) {
+  Status first_error;
+  if (set.num_jobs > 0 && set.job) {
+    const size_t n = set.num_jobs;
+    size_t runners =
+        std::min<size_t>(static_cast<size_t>(std::max(options.threads, 1)), n);
+    std::atomic<size_t> cursor{0};
+    std::mutex err_mu;
+    auto drain = [&] {
+      for (;;) {
+        size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        Status st = set.job(i);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (first_error.ok()) first_error = st;
+          // Stop dispensing; runners mid-job finish their current job.
+          cursor.store(n, std::memory_order_relaxed);
+        }
+      }
+    };
+    if (runners <= 1) {
+      drain();
+    } else {
+      ThreadPool& pool = ThreadPool::Global();
+      pool.Reserve(static_cast<int>(runners) - 1);
+      const bool record = options.collect_stats && stats != nullptr;
+      metrics::PoolStats before;
+      if (record) before = pool.stats();
+      TaskGroup group(&pool);
+      for (size_t r = 1; r < runners; ++r) group.Submit(drain);
+      drain();       // the caller is runner 0 (fork-join caller parity)
+      group.Wait();  // barrier; rethrows worker exceptions here
+      if (record) {
+        stats->pool.Merge(metrics::PoolStatsDelta(before, pool.stats()));
+        stats->pool_workers = pool.workers_running();
+      }
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  if (set.merge) return set.merge();
+  return Status::Ok();
+}
+
+}  // namespace etsqp::exec

@@ -1,0 +1,50 @@
+#ifndef ETSQP_EXEC_PIPELINE_JOB_H_
+#define ETSQP_EXEC_PIPELINE_JOB_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+#include "exec/expr.h"
+#include "exec/pipeline.h"
+
+namespace etsqp::exec {
+
+/// The unified execution shape every engine path compiles into (paper
+/// Algorithm 2 / Figure 9): Pipe turns a logical plan into a vector of
+/// decoding-pipeline jobs (PipelineSpec::jobs) and one merge node.
+/// `job(i)` runs the i-th job — decode/filter/aggregate one page slice into
+/// job-local or mutex-merged state; `merge` is the Figure 9 merge node,
+/// running exactly once on the caller after every job finished.
+///
+/// RunPipelineJobs() is the only way jobs reach threads: it submits the job
+/// set to the process-wide work-stealing pool as one TaskGroup, so nested
+/// parallelism composes and concurrent queries share workers instead of
+/// spawning per-query threads.
+struct PipelineJobSet {
+  size_t num_jobs = 0;
+  std::function<Status(size_t)> job;  // body of job i, i in [0, num_jobs)
+  std::function<Status()> merge;      // optional caller-side merge node
+};
+
+/// Runs `set` with at most `options.threads` runners active for this query:
+/// the caller acts as runner 0 and up to threads-1 runner tasks go to the
+/// shared ThreadPool (grown on demand, reused across queries — no per-query
+/// std::thread construction). Runners drain a shared cursor over the jobs,
+/// so cores never idle while jobs remain (Section III-C). After the first
+/// non-OK Status no new jobs are dispensed; in-flight jobs finish. A job
+/// that throws has the exception rethrown here, on the caller.
+///
+/// `merge` runs on the caller iff every job returned OK; its Status is the
+/// call's Status. With options.threads <= 1 (or a single job) everything
+/// runs inline with zero pool traffic — the Serial baseline stays
+/// scheduler-free.
+///
+/// Under options.collect_stats, the pool-wide counter delta of the run and
+/// the pool worker count are recorded into stats->pool / pool_workers.
+Status RunPipelineJobs(const PipelineJobSet& set,
+                       const PipelineOptions& options, ExecStats* stats);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_PIPELINE_JOB_H_

@@ -2,33 +2,39 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 
 #include "common/bit_util.h"
+#include "exec/thread_pool.h"
 
 namespace etsqp::exec {
 
 void RunJobs(size_t num_jobs, int threads,
              const std::function<void(size_t)>& fn) {
   if (num_jobs == 0) return;
-  size_t workers = std::min<size_t>(std::max(threads, 1), num_jobs);
+  size_t workers =
+      std::min<size_t>(static_cast<size_t>(std::max(threads, 1)), num_jobs);
   if (workers <= 1) {
     for (size_t i = 0; i < num_jobs; ++i) fn(i);
     return;
   }
   std::atomic<size_t> cursor{0};
-  auto worker = [&] {
+  auto drain = [&] {
     while (true) {
       size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_jobs) break;
       fn(i);
     }
   };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
-  worker();
-  for (std::thread& t : pool) t.join();
+  // Runner tasks go to the shared persistent pool (no per-call thread
+  // construction); the caller participates as one runner, exactly like the
+  // retired fork-join version. A job that throws on a worker no longer
+  // reaches std::terminate: Wait() rethrows the first exception here.
+  ThreadPool& pool = ThreadPool::Global();
+  pool.Reserve(static_cast<int>(workers) - 1);
+  TaskGroup group(&pool);
+  for (size_t w = 1; w < workers; ++w) group.Submit(drain);
+  drain();
+  group.Wait();
 }
 
 std::vector<PageSlice> PlanSlices(const std::vector<size_t>& page_counts,
@@ -45,9 +51,11 @@ std::vector<PageSlice> PlanSlices(const std::vector<size_t>& page_counts,
     return slices;
   }
   // Fewer pages than cores: split each page into at most
-  // ceil(cores / num_pages) block-aligned slices (Section III-C: "each page
-  // will have at most ceil(#Pages / p_c) slices" — per-page fan-out keeps
-  // the total near the core count without over-slicing).
+  // ceil(p_c / #Pages) block-aligned slices, p_c the core count
+  // (Section III-C) — per-page fan-out keeps the total near the core count
+  // without over-slicing. (An earlier revision of this comment misquoted
+  // the bound as ceil(#Pages / p_c), the reciprocal of what both the paper
+  // and this implementation do.)
   size_t per_page = CeilDiv(cores, num_pages);
   if (block_size == 0) block_size = 1024;
   for (size_t p = 0; p < num_pages; ++p) {

@@ -8,13 +8,21 @@
 
 namespace etsqp::exec {
 
-/// Core-level parallelism (paper Section III-C): pipeline jobs run on a
-/// small worker pool; each worker pulls the next job from a shared atomic
+/// Core-level parallelism (paper Section III-C): pipeline jobs run on up to
+/// `threads` runners; each runner pulls the next job from a shared atomic
 /// cursor, so cores never idle while jobs remain (the scheduling policy the
 /// Figure 11 micro-benchmark credits for ETSQP's thread scaling).
 ///
+/// Legacy fork-join shim. Runners are tasks on the shared persistent
+/// ThreadPool (exec/thread_pool.h) — no per-call std::thread construction —
+/// and a job that throws has the first exception rethrown here instead of
+/// the old std::terminate. New code should compile work into a
+/// PipelineJobSet and call RunPipelineJobs (exec/pipeline_job.h), which
+/// adds Status propagation, the merge step, and pool stats capture; this
+/// entry point remains for callers that predate the job framework.
+///
 /// Runs fn(job_index) for every index in [0, num_jobs) using up to `threads`
-/// workers (1 = inline). Blocks until all jobs finish.
+/// runners (1 = inline on the caller). Blocks until all jobs finish.
 void RunJobs(size_t num_jobs, int threads,
              const std::function<void(size_t)>& fn);
 

@@ -1,0 +1,250 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace etsqp::exec {
+
+namespace {
+/// The pool the current thread is a worker of (nullptr outside worker
+/// threads). Paired with ThreadPool::tls_slot_: both are only meaningful
+/// when tls_pool matches the pool being asked.
+thread_local ThreadPool* tls_pool = nullptr;
+}  // namespace
+
+thread_local int ThreadPool::tls_slot_ = -1;
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool(int target_workers) {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 2;
+  target_ = std::clamp(target_workers > 0 ? target_workers : hw, 1, kMaxWorkers);
+  for (int i = 0; i < target_; ++i) slots_[i] = std::make_unique<WorkerSlot>();
+  num_slots_.store(target_, std::memory_order_release);
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Reserve(int workers) {
+  std::lock_guard<std::mutex> lk(mu_);
+  int want = std::clamp(workers, 1, kMaxWorkers);
+  if (want <= target_) return;
+  for (int i = target_; i < want; ++i) {
+    slots_[i] = std::make_unique<WorkerSlot>();
+  }
+  target_ = want;
+  num_slots_.store(want, std::memory_order_release);
+  // New workers launch lazily on the next Submit; if the pool is already
+  // live, bring them up now so a running query's TaskGroup benefits.
+  if (!threads_.empty() && !stop_) StartWorkersLocked();
+}
+
+int ThreadPool::target_workers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return target_;
+}
+
+int ThreadPool::workers_running() const {
+  return running_.load(std::memory_order_acquire);
+}
+
+uint64_t ThreadPool::threads_started() const {
+  return threads_started_.load(std::memory_order_acquire);
+}
+
+metrics::PoolStats ThreadPool::stats() const {
+  metrics::PoolStats s;
+  s.tasks = tasks_executed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.park_nanos = park_nanos_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::StartWorkersLocked() {
+  while (static_cast<int>(threads_.size()) < target_) {
+    int slot = static_cast<int>(threads_.size());
+    threads_.emplace_back([this, slot] { WorkerLoop(slot); });
+    threads_started_.fetch_add(1, std::memory_order_relaxed);
+    running_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::Submit(Task task) {
+  // Lazy spin-up: the first submission (or the first after Shutdown)
+  // launches the workers. The double-checked running_ read keeps the warm
+  // path off mu_ except for the lost-wakeup fence below.
+  if (running_.load(std::memory_order_acquire) <
+      num_slots_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!stop_) StartWorkersLocked();
+  }
+  int n = num_slots_.load(std::memory_order_acquire);
+  int home = (tls_pool == this) ? tls_slot_ : -1;
+  int idx = home >= 0
+                ? home
+                : static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                                   static_cast<uint64_t>(n));
+  {
+    std::lock_guard<std::mutex> lk(slots_[idx]->mu);
+    slots_[idx]->q.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  // Lost-wakeup fence: a worker that read queued_ == 0 under mu_ is either
+  // already inside wait() (this lock can only be taken after it released
+  // mu_) or will re-check queued_. Either way notify_one lands.
+  { std::lock_guard<std::mutex> lk(mu_); }
+  park_cv_.notify_one();
+}
+
+bool ThreadPool::TryAcquire(Task* out, int home_slot) {
+  int n = num_slots_.load(std::memory_order_acquire);
+  if (n <= 0) return false;
+  // Own deque first, from the back: LIFO keeps nested work cache-warm.
+  if (home_slot >= 0 && home_slot < n) {
+    WorkerSlot& s = *slots_[home_slot];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (!s.q.empty()) {
+      *out = std::move(s.q.back());
+      s.q.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal from the front of a victim's deque: the oldest task is the
+  // coarsest-granularity work and the least likely to be cache-warm there.
+  int start = home_slot >= 0 ? home_slot + 1 : 0;
+  for (int k = 0; k < n; ++k) {
+    int v = (start + k) % n;
+    if (v == home_slot) continue;
+    WorkerSlot& s = *slots_[v];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (!s.q.empty()) {
+      *out = std::move(s.q.front());
+      s.q.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(Task&& task) {
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (task.group != nullptr) task.group->OnTaskDone(error);
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  tls_pool = this;
+  tls_slot_ = slot;
+  for (;;) {
+    Task task;
+    if (TryAcquire(&task, slot)) {
+      RunTask(std::move(task));
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_) break;  // queues drained: deterministic shutdown
+    if (queued_.load(std::memory_order_acquire) > 0) continue;
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t t0 = metrics::NowNanos();
+    park_cv_.wait(lk, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    park_nanos_.fetch_add(metrics::NowNanos() - t0,
+                          std::memory_order_relaxed);
+    if (stop_ && queued_.load(std::memory_order_acquire) == 0) break;
+  }
+  running_.fetch_sub(1, std::memory_order_release);
+  tls_pool = nullptr;
+  tls_slot_ = -1;
+}
+
+void ThreadPool::Shutdown() {
+  std::deque<std::thread> joinable;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (threads_.empty()) return;
+    stop_ = true;
+    joinable.swap(threads_);
+  }
+  park_cv_.notify_all();
+  for (std::thread& t : joinable) t.join();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = false;  // ready for lazy re-init on the next Submit
+  }
+}
+
+// --------------------------------------------------------------- TaskGroup
+
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // Destructor waits for completion but cannot surface the exception;
+    // callers that care call Wait() themselves.
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_;
+  }
+  pool_->Submit(ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::OnTaskDone(std::exception_ptr error) {
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (pending_ == 0) break;
+    }
+    // Help: drain pool tasks while the group is outstanding. Own (nested)
+    // tasks come first via the home deque; the helper may also pick up an
+    // unrelated group's task — that is what lets nested submission compose
+    // without idle waiters or deadlock on a saturated pool.
+    ThreadPool::Task task;
+    int home = (tls_pool == pool_) ? ThreadPool::tls_slot_ : -1;
+    if (pool_->TryAcquire(&task, home)) {
+      pool_->RunTask(std::move(task));
+      continue;
+    }
+    // Nothing runnable: our tasks are in flight on workers (or racing into
+    // a deque). Sleep on completion, re-polling briefly for the race.
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, std::chrono::microseconds(200),
+                 [this] { return pending_ == 0; });
+    if (pending_ == 0) break;
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace etsqp::exec

@@ -1,0 +1,172 @@
+#ifndef ETSQP_EXEC_THREAD_POOL_H_
+#define ETSQP_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/metrics.h"
+
+namespace etsqp::exec {
+
+class TaskGroup;
+
+/// Process-wide persistent worker pool (paper Section III-C discipline:
+/// decode kernels hit memory/issue limits only when orchestration overhead
+/// is off the critical path). Replaces the fork-join RunJobs scheduler that
+/// spawned and joined fresh std::threads several times per query.
+///
+/// Structure:
+///  - One work-stealing deque per worker. A worker pushes and pops at the
+///    back of its own deque (LIFO: cache-warm nested work first) and steals
+///    from the front of a victim's deque (FIFO: oldest, largest-granularity
+///    work). External submitters distribute round-robin across deques.
+///  - Lazy spin-up: constructing the pool (or the process-wide Global()
+///    instance) starts no threads; workers launch on first Submit, up to the
+///    reserved target (default: hardware concurrency).
+///  - TaskGroup is the blocking-wait handle: the waiter *helps* — it drains
+///    pool tasks while its group is outstanding — so nested submission
+///    (a job submitting jobs and waiting) composes without deadlock even on
+///    a single-worker pool.
+///  - A task that throws has its exception captured into its TaskGroup and
+///    rethrown from Wait() on the caller thread (the fork-join RunJobs
+///    previously hit std::terminate).
+///  - Counters (tasks executed, steals, parks, parked nanoseconds) feed
+///    EXPLAIN ANALYZE's pool line; see metrics::PoolStats.
+///
+/// Thread safety: every member is safe to call concurrently. Shutdown()
+/// drains queued tasks, joins the workers, and leaves the pool ready to
+/// lazily respawn on the next Submit (deterministic shutdown/re-init).
+class ThreadPool {
+ public:
+  /// The shared process-wide pool all queries run on.
+  static ThreadPool& Global();
+
+  /// `target_workers` <= 0 means hardware concurrency. No threads start
+  /// until the first Submit.
+  explicit ThreadPool(int target_workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Grows the spin-up target to at least `workers` (never shrinks, capped
+  /// at kMaxWorkers). Existing workers keep running; new ones launch on the
+  /// next Submit.
+  void Reserve(int workers);
+
+  /// Current spin-up target.
+  int target_workers() const;
+  /// Workers currently running (0 before first Submit / after Shutdown).
+  int workers_running() const;
+
+  /// Total std::threads this pool ever launched — the pool-reuse assertion
+  /// hook: executing queries on a warm pool must not move this counter.
+  uint64_t threads_started() const;
+
+  /// Cumulative pool counters since construction.
+  metrics::PoolStats stats() const;
+
+  /// Drains queued tasks, joins all workers. The pool restarts lazily on
+  /// the next Submit. Safe to call repeatedly and concurrently with
+  /// in-flight TaskGroup waits (waiters help drain, then observe
+  /// completion).
+  void Shutdown();
+
+  static constexpr int kMaxWorkers = 64;
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  /// One worker's deque. A plain mutex per deque: push/pop/steal critical
+  /// sections are a few pointer moves, and the per-worker split keeps them
+  /// uncontended in the common case (lock-free Chase-Lev is not worth the
+  /// TSan-auditing surface at these task granularities).
+  struct WorkerSlot {
+    std::mutex mu;
+    std::deque<Task> q;
+  };
+
+  /// Enqueues a group task and wakes a worker, starting workers lazily.
+  void Submit(Task task);
+  /// Pops from the calling worker's deque or steals; used by workers and by
+  /// helping TaskGroup waiters. Returns false when every deque is empty.
+  bool TryAcquire(Task* out, int home_slot);
+  void RunTask(Task&& task);
+  void WorkerLoop(int slot);
+  void StartWorkersLocked();
+
+  mutable std::mutex mu_;          // guards targets, worker vector, lifecycle
+  std::condition_variable park_cv_;
+  std::unique_ptr<WorkerSlot> slots_[kMaxWorkers];
+  std::deque<std::thread> threads_;
+  int target_ = 0;
+  bool stop_ = false;
+  std::atomic<int> running_{0};
+  std::atomic<uint64_t> queued_{0};  // tasks enqueued, not yet acquired
+  std::atomic<uint64_t> rr_{0};      // round-robin cursor for external pushes
+  std::atomic<int> num_slots_{0};    // published slots; entries never move
+
+  std::atomic<uint64_t> threads_started_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> parks_{0};
+  std::atomic<uint64_t> park_nanos_{0};
+
+  static thread_local int tls_slot_;  // this thread's home slot, -1 outside
+};
+
+/// A batch of tasks submitted to a ThreadPool and waited on as a unit — the
+/// blocking-wait handle every pipeline run and the RunJobs shim use.
+///
+///   TaskGroup group;                       // uses ThreadPool::Global()
+///   for (...) group.Submit([&] { ... });
+///   group.Wait();  // helps run tasks; rethrows the first captured throw
+///
+/// Wait() rethrows the first exception thrown by any task of the group (the
+/// remaining tasks still run to completion so shared captures stay alive).
+/// The destructor waits but swallows exceptions; call Wait() to observe
+/// them.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool = &ThreadPool::Global());
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task completed, helping the pool run
+  /// tasks (its own first, by LIFO locality) while it waits. Rethrows the
+  /// first captured task exception. The group is reusable after Wait().
+  void Wait();
+
+  /// Tasks of this group executed so far (any thread).
+  uint64_t tasks_run() const { return tasks_run_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class ThreadPool;
+
+  void OnTaskDone(std::exception_ptr error);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t pending_ = 0;
+  std::exception_ptr first_error_;
+  std::atomic<uint64_t> tasks_run_{0};
+};
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_THREAD_POOL_H_

@@ -10,6 +10,8 @@
 //   .profile [on|off]    collect per-stage ExecStats for every query
 //   .mode simd|scalar    switch the engine (IoTDB-SIMD vs IoTDB)
 //   .threads N           worker threads
+//   .pool                process-wide executor pool counters (workers,
+//                        tasks, steals, parks)
 //   SELECT ...;          any Table III dialect statement
 //   EXPLAIN [ANALYZE] SELECT ...;   show the compiled Pipe plan
 //   .quit
@@ -20,6 +22,7 @@
 
 #include "db/iotdb_lite.h"
 #include "exec/explain.h"
+#include "exec/thread_pool.h"
 #include "workload/generators.h"
 
 namespace {
@@ -113,6 +116,20 @@ int main(int argc, char** argv) {
     }
     if (cmd == ".stats") {
       std::fputs(exec::RenderStats(last_stats).c_str(), stdout);
+      continue;
+    }
+    if (cmd == ".pool") {
+      exec::ThreadPool& pool = exec::ThreadPool::Global();
+      metrics::PoolStats ps = pool.stats();
+      std::printf(
+          "pool: workers=%d (started %llu total) tasks=%llu steals=%llu "
+          "parks=%llu parked=%.3f ms\n",
+          pool.workers_running(),
+          static_cast<unsigned long long>(pool.threads_started()),
+          static_cast<unsigned long long>(ps.tasks),
+          static_cast<unsigned long long>(ps.steals),
+          static_cast<unsigned long long>(ps.parks),
+          static_cast<double>(ps.park_nanos) / 1e6);
       continue;
     }
     if (cmd.rfind(".profile", 0) == 0) {
