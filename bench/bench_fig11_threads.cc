@@ -28,7 +28,8 @@ std::vector<double> MeasurePageCosts(const storage::SeriesStore& store,
   auto s = store.GetSeries(series);
   if (!s.ok()) std::abort();
   std::vector<double> costs;
-  for (const storage::Page& page : s.value()->pages) {
+  for (const auto& page_ptr : s.value()->pages) {
+    const storage::Page& page = *page_ptr;
     exec::PipelineOptions opt = options;
     opt.threads = 1;
     double secs = bench::TimeBest(

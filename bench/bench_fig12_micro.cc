@@ -117,7 +117,8 @@ int main() {
     auto page_costs = [&](const exec::PipelineOptions& opt) {
       auto s = ts.GetSeries("s");
       std::vector<double> costs;
-      for (const storage::Page& page : s.value()->pages) {
+      for (const auto& page_ptr : s.value()->pages) {
+        const storage::Page& page = *page_ptr;
         costs.push_back(bench::TimeBest(
             [&] {
               exec::AggAccum a;

@@ -26,9 +26,9 @@ int main() {
   // quarter of the data.
   const std::string& sensor = names.value()[3];
   auto series = dbi.store()->GetSeries(sensor);
-  int64_t t_end = series.value()->pages.back().header.max_time;
+  int64_t t_end = series.value()->pages.back()->header.max_time;
   int64_t t_begin =
-      t_end - (t_end - series.value()->pages[0].header.min_time) / 4;
+      t_end - (t_end - series.value()->pages[0]->header.min_time) / 4;
 
   char sql[256];
   std::snprintf(sql, sizeof(sql),

@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+namespace etsqp {
+
+namespace {
+
+/// 256-entry table for the reflected CRC-32C polynomial, built once.
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // 0x1EDC6F41 reflected
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32cTable kTable;
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t n, uint32_t seed) {
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable.t[(c ^ data[i]) & 0xff] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace etsqp

@@ -1,0 +1,28 @@
+#ifndef ETSQP_COMMON_CRC32_H_
+#define ETSQP_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace etsqp {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected) over `data`.
+/// `seed` chains incremental computations: Crc32c(b, nb, Crc32c(a, na))
+/// equals the CRC of a||b. Used by the WAL record framing to detect torn
+/// and bit-flipped records at recovery.
+uint32_t Crc32c(const uint8_t* data, size_t n, uint32_t seed = 0);
+
+/// `crc` xor a fixed mask, so a WAL record whose payload happens to contain
+/// its own CRC (e.g. a copied record) still mismatches. The mask operation
+/// is an involution: Unmask(Mask(c)) == c.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace etsqp
+
+#endif  // ETSQP_COMMON_CRC32_H_

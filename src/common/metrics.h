@@ -111,6 +111,27 @@ inline PoolStats PoolStatsDelta(const PoolStats& before,
   return d;
 }
 
+/// Streaming-ingest counters (storage::SeriesStore + its WAL): the write
+/// side of the observability story. Cumulative since store construction;
+/// `tail_points` is a gauge (currently buffered, not yet sealed points).
+/// Surfaced by the CLI `.ingest` command and docs/OBSERVABILITY.md.
+struct IngestStats {
+  uint64_t points_appended = 0;   // acknowledged points (excl. replay)
+  uint64_t append_batches = 0;    // Append*/AppendBatch* calls accepted
+  uint64_t rejected_batches = 0;  // out-of-order / duplicate-timestamp
+  uint64_t pages_sealed = 0;      // pages built from the ingest buffer
+  uint64_t background_seals = 0;  // subset sealed on the thread pool
+  uint64_t seal_nanos = 0;        // wall time inside page encoding
+  uint64_t tail_points = 0;       // gauge: buffered + pending-seal points
+  uint64_t wal_records = 0;       // WAL appends since WAL open
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_sync_nanos = 0;
+  uint64_t recovered_records = 0;  // replayed at the last Recover
+  uint64_t recovered_points = 0;
+  uint64_t dropped_wal_records = 0;  // torn/corrupt tail records dropped
+};
+
 /// Monotonic timestamp in nanoseconds (steady clock).
 inline uint64_t NowNanos() {
   return static_cast<uint64_t>(

@@ -118,6 +118,49 @@ Status IotDbLite::InsertBatch(const std::string& name, const int64_t* times,
 
 Status IotDbLite::Flush() { return store_.Flush(); }
 
+Status IotDbLite::EnableIngest(const IngestConfig& config) {
+  if (!config.wal_path.empty()) {
+    if (store_.wal() != nullptr) {
+      return Status::InvalidArgument("a WAL is already attached");
+    }
+    storage::Wal::Options options;
+    options.fsync = config.fsync;
+    options.batch_bytes = config.wal_batch_bytes;
+    Result<std::unique_ptr<storage::Wal>> wal =
+        storage::Wal::Open(config.wal_path, options);
+    if (!wal.ok()) return wal.status();
+    // Recovery before attach: records from an earlier run (possibly on top
+    // of a Load()ed checkpoint) are applied idempotently, a torn tail is
+    // truncated away, and only then does the log accept new appends.
+    storage::Wal::ReplayStats replay;
+    ETSQP_RETURN_IF_ERROR(wal.value()->ReplayInto(&store_, &replay));
+    store_.NoteRecovery(replay);
+    last_recovery_ = replay;
+    store_.AttachWal(std::move(wal).value());
+  }
+  if (config.background_seal) {
+    if (seal_group_ == nullptr) {
+      seal_group_ = std::make_unique<exec::TaskGroup>();
+    }
+    exec::TaskGroup* group = seal_group_.get();
+    store_.SetBackgroundSeal(true, [group](std::function<void()> fn) {
+      group->Submit(std::move(fn));
+    });
+  }
+  return Status::Ok();
+}
+
+Status IotDbLite::Checkpoint(const std::string& path) {
+  ETSQP_RETURN_IF_ERROR(store_.Flush());
+  ETSQP_RETURN_IF_ERROR(storage::WriteTsFile(store_, path));
+  storage::Wal* wal = store_.wal();
+  if (wal != nullptr && !testing_fail_before_wal_truncate_) {
+    // The TsFile now covers every logged point; the log restarts empty.
+    ETSQP_RETURN_IF_ERROR(wal->Reset());
+  }
+  return Status::Ok();
+}
+
 Status IotDbLite::Save(const std::string& path) const {
   return storage::WriteTsFile(store_, path);
 }

@@ -5,10 +5,13 @@
 #include <shared_mutex>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "exec/engine.h"
+#include "exec/thread_pool.h"
 #include "storage/buffer_manager.h"
 #include "storage/series_store.h"
+#include "storage/wal.h"
 
 namespace etsqp::db {
 
@@ -26,8 +29,11 @@ namespace etsqp::db {
 /// each bounded by the configured thread count, and an engine-level
 /// reader/writer lock serializes the reconfiguration calls (SetMode /
 /// SetThreads / SetCollectStats / OpenFile / CloseFile) against in-flight
-/// queries. Ingestion (Insert*/Flush/Load) is NOT synchronized against
-/// concurrent queries; quiesce queries before mutating the store.
+/// queries. Ingestion (Insert*/Flush/Load) is synchronized too: the store
+/// is internally locked and queries run over per-series snapshots, so
+/// concurrent Insert and Query from different threads is a supported,
+/// tested contract — a query observes every point whose Insert returned
+/// before the query started, and never a torn batch.
 class IotDbLite {
  public:
   enum class Mode { kScalar, kSimd };
@@ -54,6 +60,45 @@ class IotDbLite {
   Status InsertBatchF64(const std::string& name, const int64_t* times,
                         const double* values, size_t n);
   Status Flush();
+
+  /// --- Streaming ingest subsystem (WAL + background sealing) ------------
+  ///
+  /// EnableIngest turns the in-memory store into a durable streaming
+  /// target: a write-ahead log at `wal_path` is opened, replayed into the
+  /// store (crash recovery — idempotent on top of a Load()ed checkpoint),
+  /// and attached so every subsequent CreateTimeseries/Insert* is logged
+  /// before it is acknowledged. With `background_seal`, full ingestion
+  /// buffers are encoded into pages on the shared executor pool instead of
+  /// on the inserting thread.
+  struct IngestConfig {
+    std::string wal_path;  // empty => no WAL (tail + sealing only)
+    storage::Wal::FsyncPolicy fsync = storage::Wal::FsyncPolicy::kBatch;
+    size_t wal_batch_bytes = 64 << 10;  // group-commit threshold for kBatch
+    bool background_seal = false;
+  };
+  Status EnableIngest(const IngestConfig& config);
+
+  /// Durability checkpoint: Flush() every tail into pages, persist the
+  /// whole store as a TsFile at `path`, then truncate the WAL (its records
+  /// are redundant once the TsFile holds them). Callers serialize
+  /// Checkpoint against their own ingest threads; a checkpoint racing an
+  /// insert can fail benignly with "unflushed series" and may be retried.
+  Status Checkpoint(const std::string& path);
+
+  /// Testing fault hook: when set, Checkpoint() stops right before the WAL
+  /// truncation — simulating a crash in the save-to-truncate window. A
+  /// subsequent recovery must then skip the already-checkpointed records
+  /// (idempotent replay) instead of double-applying them.
+  void TestingFailBeforeWalTruncate(bool on) {
+    testing_fail_before_wal_truncate_ = on;
+  }
+
+  /// Ingest/WAL/seal counters (docs/OBSERVABILITY.md).
+  metrics::IngestStats ingest_stats() const { return store_.ingest_stats(); }
+  /// What the last EnableIngest recovery pass did (zeros before/without).
+  const storage::Wal::ReplayStats& last_recovery() const {
+    return last_recovery_;
+  }
 
   /// Parses and executes one SQL statement (Table III dialect, plus the
   /// EXPLAIN [ANALYZE] prefix). Runs against the file-backed store when one
@@ -106,7 +151,14 @@ class IotDbLite {
   Mode mode_ = Mode::kSimd;
   int threads_ = 1;
   bool collect_stats_ = false;
+  bool testing_fail_before_wal_truncate_ = false;
+  storage::Wal::ReplayStats last_recovery_;
   storage::SeriesStore store_;
+  /// Owns the background-seal tasks submitted on the store's behalf.
+  /// Declared after store_ so it is destroyed first: the TaskGroup
+  /// destructor waits out in-flight encodes before the database goes away.
+  /// Heap-held (like engine_mu_) so IotDbLite stays movable.
+  std::unique_ptr<exec::TaskGroup> seal_group_;
   std::unique_ptr<storage::FileBackedStore> file_store_;
   /// Readers = Query() executions; writers = engine reconfiguration and
   /// file-store attach/detach. Keeps concurrent queries from observing a

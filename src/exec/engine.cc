@@ -13,6 +13,7 @@
 #include "exec/fusion.h"
 #include "exec/pipe_builder.h"
 #include "exec/pipeline_job.h"
+#include "exec/tail_kernel.h"
 #include "simd/filter_simd.h"
 
 namespace etsqp::exec {
@@ -68,10 +69,10 @@ struct Materialized {
   std::vector<int64_t> values;
 };
 
-/// Runs MaterializeSlice jobs for one plan and returns per-input tuple
-/// streams in time order.
+/// Runs MaterializeSlice jobs (plus the scalar tail legs) for one plan and
+/// returns per-input tuple streams in time order.
 Status MaterializeInputs(const LogicalPlan& plan,
-                         const storage::SeriesStore& store,
+                         const std::vector<storage::SeriesSnapshot>& snaps,
                          const PipelineOptions& options,
                          const PipelineSpec& spec,
                          std::vector<Materialized>* inputs,
@@ -80,23 +81,21 @@ Status MaterializeInputs(const LogicalPlan& plan,
   std::vector<Materialized> locals(spec.jobs.size());
   std::vector<QueryStats> job_stats(spec.jobs.size());
 
-  std::vector<const storage::SeriesStore::Series*> series(2, nullptr);
-  Result<const storage::SeriesStore::Series*> left =
-      store.GetSeries(plan.series);
-  if (!left.ok()) return left.status();
-  series[0] = left.value();
-  if (!plan.series_right.empty()) {
-    Result<const storage::SeriesStore::Series*> right =
-        store.GetSeries(plan.series_right);
-    if (!right.ok()) return right.status();
-    series[1] = right.value();
-  }
-
   PipelineJobSet set;
   set.num_jobs = spec.jobs.size();
   set.job = [&](size_t i) -> Status {
     const PipeJob& job = spec.jobs[i];
-    const storage::Page& page = series[job.input]->pages[job.page_index];
+    const storage::SeriesSnapshot& snap = snaps[job.input];
+    if (job.tail) {
+      if (snap.is_float) {
+        return Status::NotSupported("materialize on float series tail");
+      }
+      return TailMaterialize(snap.tail_times.data(), snap.tail_values.data(),
+                             snap.tail_times.size(), plan.time_filter,
+                             plan.value_filter, options, &locals[i].times,
+                             &locals[i].values, &job_stats[i]);
+    }
+    const storage::Page& page = *snap.pages[job.page_index];
     return MaterializeSlice(page, job.begin, job.end, plan.time_filter,
                             plan.value_filter, options, &locals[i].times,
                             &locals[i].values, &job_stats[i]);
@@ -265,19 +264,19 @@ Result<QueryResult> Engine::ExecuteFile(
 
 Result<QueryResult> Engine::ExecuteAggregate(
     const LogicalPlan& plan, const storage::SeriesStore& store) const {
-  Result<PipelineSpec> spec = BuildPipeline(plan, store, options_);
+  Result<std::vector<storage::SeriesSnapshot>> snaps =
+      ResolveInputs(plan, store);
+  if (!snaps.ok()) return snaps.status();
+  Result<PipelineSpec> spec = BuildPipeline(plan, snaps.value(), options_);
   if (!spec.ok()) return spec.status();
-  Result<const storage::SeriesStore::Series*> series =
-      store.GetSeries(plan.series);
-  if (!series.ok()) return series.status();
-  const auto& pages = series.value()->pages;
+  const storage::SeriesSnapshot& snap = snaps.value()[0];
+  const auto& pages = snap.pages;
 
   QueryResult result;
   result.stats = spec.value().plan_stats;
 
   // Float-valued series take the double pipeline (XOR-pattern codecs).
-  const bool is_float =
-      !pages.empty() && enc::IsFloatEncoding(pages[0].header.value_encoding);
+  const bool is_float = snap.is_float;
 
   std::mutex mu;
   std::map<int64_t, AggAccum> windows;  // window index -> accum
@@ -290,9 +289,52 @@ Result<QueryResult> Engine::ExecuteAggregate(
   set.num_jobs = spec.value().jobs.size();
   set.job = [&](size_t i) -> Status {
     const PipeJob& job = spec.value().jobs[i];
-    const storage::Page& page = pages[job.page_index];
     QueryStats local_stats;
     Status st;
+    if (job.tail) {
+      // Unsealed tail leg: scalar kernels over the snapshot's raw arrays.
+      if (is_float && plan.window.active) {
+        std::map<int64_t, FloatAggAccum> local;
+        st = TailAggregateWindowsF64(snap.tail_times.data(),
+                                     snap.tail_values_f64.data(),
+                                     snap.tail_times.size(), plan.window,
+                                     plan.func, options_, &local,
+                                     &local_stats);
+        std::lock_guard<std::mutex> lock(mu);
+        for (const auto& [k, acc] : local) fwindows[k].Merge(acc);
+        run_stats.Merge(local_stats);
+      } else if (is_float) {
+        FloatAggAccum local;
+        st = TailAggregateF64(snap.tail_times.data(),
+                              snap.tail_values_f64.data(),
+                              snap.tail_times.size(), plan.time_filter,
+                              plan.value_filter, plan.func, options_, &local,
+                              &local_stats);
+        std::lock_guard<std::mutex> lock(mu);
+        ftotal.Merge(local);
+        run_stats.Merge(local_stats);
+      } else if (plan.window.active) {
+        std::map<int64_t, AggAccum> local;
+        st = TailAggregateWindows(snap.tail_times.data(),
+                                  snap.tail_values.data(),
+                                  snap.tail_times.size(), plan.window,
+                                  plan.func, options_, &local, &local_stats);
+        std::lock_guard<std::mutex> lock(mu);
+        for (const auto& [k, acc] : local) windows[k].Merge(acc);
+        run_stats.Merge(local_stats);
+      } else {
+        AggAccum local;
+        st = TailAggregate(snap.tail_times.data(), snap.tail_values.data(),
+                           snap.tail_times.size(), plan.time_filter,
+                           plan.value_filter, plan.func, options_, &local,
+                           &local_stats);
+        std::lock_guard<std::mutex> lock(mu);
+        total.Merge(local);
+        run_stats.Merge(local_stats);
+      }
+      return st;
+    }
+    const storage::Page& page = *pages[job.page_index];
     if (is_float && plan.window.active) {
       std::map<int64_t, FloatAggAccum> local;
       st = AggregateFloatSliceWindows(page, job.begin, job.end, plan.window,
@@ -371,14 +413,18 @@ Result<QueryResult> Engine::ExecuteAggregate(
 
 Result<QueryResult> Engine::ExecuteSelect(
     const LogicalPlan& plan, const storage::SeriesStore& store) const {
-  Result<PipelineSpec> spec = BuildPipeline(plan, store, options_);
+  Result<std::vector<storage::SeriesSnapshot>> snaps =
+      ResolveInputs(plan, store);
+  if (!snaps.ok()) return snaps.status();
+  Result<PipelineSpec> spec = BuildPipeline(plan, snaps.value(), options_);
   if (!spec.ok()) return spec.status();
   QueryResult result;
   result.stats = spec.value().plan_stats;
 
   std::vector<Materialized> inputs(2);
-  ETSQP_RETURN_IF_ERROR(MaterializeInputs(plan, store, options_, spec.value(),
-                                          &inputs, &result.stats));
+  ETSQP_RETURN_IF_ERROR(MaterializeInputs(plan, snaps.value(), options_,
+                                          spec.value(), &inputs,
+                                          &result.stats));
   const Materialized& m = inputs[0];
   result.column_names = {"time", "value"};
   result.columns.assign(2, {});
@@ -390,14 +436,18 @@ Result<QueryResult> Engine::ExecuteSelect(
 
 Result<QueryResult> Engine::ExecuteBinary(
     const LogicalPlan& plan, const storage::SeriesStore& store) const {
-  Result<PipelineSpec> spec = BuildPipeline(plan, store, options_);
+  Result<std::vector<storage::SeriesSnapshot>> snaps =
+      ResolveInputs(plan, store);
+  if (!snaps.ok()) return snaps.status();
+  Result<PipelineSpec> spec = BuildPipeline(plan, snaps.value(), options_);
   if (!spec.ok()) return spec.status();
   QueryResult result;
   result.stats = spec.value().plan_stats;
 
   std::vector<Materialized> inputs(2);
-  ETSQP_RETURN_IF_ERROR(MaterializeInputs(plan, store, options_, spec.value(),
-                                          &inputs, &result.stats));
+  ETSQP_RETURN_IF_ERROR(MaterializeInputs(plan, snaps.value(), options_,
+                                          spec.value(), &inputs,
+                                          &result.stats));
   const Materialized& l = inputs[0];
   const Materialized& r = inputs[1];
 
@@ -513,13 +563,15 @@ struct CorrAccum {
 
 /// True when the two series share identical page layout and timestamps and
 /// both value columns are Delta-RLE — the Section IV fused cross-product
-/// applies page by page, no decoding at all.
-bool FusedCorrApplies(const storage::SeriesStore::Series& a,
-                      const storage::SeriesStore::Series& b) {
+/// applies page by page, no decoding at all. Unsealed tails are raw, so
+/// the fused path requires both tails empty (a Flush, or quiesced ingest).
+bool FusedCorrApplies(const storage::SeriesSnapshot& a,
+                      const storage::SeriesSnapshot& b) {
+  if (a.has_tail() || b.has_tail()) return false;
   if (a.pages.size() != b.pages.size()) return false;
   for (size_t p = 0; p < a.pages.size(); ++p) {
-    const storage::PageHeader& ha = a.pages[p].header;
-    const storage::PageHeader& hb = b.pages[p].header;
+    const storage::PageHeader& ha = a.pages[p]->header;
+    const storage::PageHeader& hb = b.pages[p]->header;
     if (ha.count != hb.count || ha.min_time != hb.min_time ||
         ha.max_time != hb.max_time ||
         ha.value_encoding != enc::ColumnEncoding::kDeltaRle ||
@@ -529,8 +581,8 @@ bool FusedCorrApplies(const storage::SeriesStore::Series& a,
     }
     // Equal encoded time columns <=> equal timestamps (encoding is a
     // deterministic function of the series).
-    if (std::memcmp(a.pages[p].time_data.data(), b.pages[p].time_data.data(),
-                    ha.time_bytes) != 0) {
+    if (std::memcmp(a.pages[p]->time_data.data(),
+                    b.pages[p]->time_data.data(), ha.time_bytes) != 0) {
       return false;
     }
   }
@@ -541,12 +593,9 @@ bool FusedCorrApplies(const storage::SeriesStore::Series& a,
 
 Result<QueryResult> Engine::ExecuteCorrelate(
     const LogicalPlan& plan, const storage::SeriesStore& store) const {
-  Result<const storage::SeriesStore::Series*> left =
-      store.GetSeries(plan.series);
-  if (!left.ok()) return left.status();
-  Result<const storage::SeriesStore::Series*> right =
-      store.GetSeries(plan.series_right);
-  if (!right.ok()) return right.status();
+  Result<std::vector<storage::SeriesSnapshot>> snaps =
+      ResolveInputs(plan, store);
+  if (!snaps.ok()) return snaps.status();
 
   QueryResult result;
   CorrAccum accum;
@@ -554,20 +603,20 @@ Result<QueryResult> Engine::ExecuteCorrelate(
   const bool no_filters =
       plan.time_filter.IsUniverse() && !plan.value_filter.active;
   if (options_.fusion && options_.strategy == DecodeStrategy::kEtsqp &&
-      no_filters && FusedCorrApplies(*left.value(), *right.value())) {
+      no_filters && FusedCorrApplies(snaps.value()[0], snaps.value()[1])) {
     // Section IV fused path: per page pair, closed-form sums over the
     // <delta, run> structure — SUM, SUM^2 (FusedAggDeltaRle) and the
     // cross-product polynomial (FusedCrossDeltaRle). No value decoding.
     std::mutex mu;
-    const auto& pa = left.value()->pages;
-    const auto& pb = right.value()->pages;
+    const auto& pa = snaps.value()[0].pages;
+    const auto& pb = snaps.value()[1].pages;
     PipelineJobSet set;
     set.num_jobs = pa.size();
     set.job = [&](size_t p) -> Status {
-      auto ca = enc::DeltaRleColumn::Parse(pa[p].value_data.data(),
-                                           pa[p].value_data.size());
-      auto cb = enc::DeltaRleColumn::Parse(pb[p].value_data.data(),
-                                           pb[p].value_data.size());
+      auto ca = enc::DeltaRleColumn::Parse(pa[p]->value_data.data(),
+                                           pa[p]->value_data.size());
+      auto cb = enc::DeltaRleColumn::Parse(pb[p]->value_data.data(),
+                                           pb[p]->value_data.size());
       Status st;
       CorrAccum local;
       if (!ca.ok()) {
@@ -600,9 +649,9 @@ Result<QueryResult> Engine::ExecuteCorrelate(
       accum.sum_ab += local.sum_ab;
       accum.n += local.n;
       result.stats.pages_total += 2;
-      result.stats.tuples_in_pages += 2 * pa[p].header.count;
+      result.stats.tuples_in_pages += 2 * pa[p]->header.count;
       result.stats.bytes_loaded +=
-          pa[p].encoded_bytes() + pb[p].encoded_bytes();
+          pa[p]->encoded_bytes() + pb[p]->encoded_bytes();
       return st;
     };
     set.merge = [&]() -> Status {
@@ -615,12 +664,13 @@ Result<QueryResult> Engine::ExecuteCorrelate(
   }
 
   // General path: materialize, join on time, accumulate.
-  Result<PipelineSpec> spec = BuildPipeline(plan, store, options_);
+  Result<PipelineSpec> spec = BuildPipeline(plan, snaps.value(), options_);
   if (!spec.ok()) return spec.status();
   result.stats = spec.value().plan_stats;
   std::vector<Materialized> inputs(2);
-  ETSQP_RETURN_IF_ERROR(MaterializeInputs(plan, store, options_, spec.value(),
-                                          &inputs, &result.stats));
+  ETSQP_RETURN_IF_ERROR(MaterializeInputs(plan, snaps.value(), options_,
+                                          spec.value(), &inputs,
+                                          &result.stats));
   const Materialized& l = inputs[0];
   const Materialized& r = inputs[1];
   std::vector<uint64_t> mask_l(CeilDiv(l.times.size(), 64) + 1);

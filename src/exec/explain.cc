@@ -58,17 +58,24 @@ void AppendScan(std::string* out, const char* indent, const std::string& name,
                 int input, const PipelineSpec& spec) {
   size_t jobs = 0;
   size_t pages = 0;
+  size_t tail_tuples = 0;
   size_t last_page = std::numeric_limits<size_t>::max();
   for (const PipeJob& j : spec.jobs) {
     if (j.input != input) continue;
+    if (j.tail) {
+      tail_tuples = j.end - j.begin;
+      continue;
+    }
     ++jobs;
     if (j.page_index != last_page) {
       ++pages;
       last_page = j.page_index;
     }
   }
-  Appendf(out, "%sScan %s  pages=%zu jobs=%zu\n", indent, name.c_str(), pages,
+  Appendf(out, "%sScan %s  pages=%zu jobs=%zu", indent, name.c_str(), pages,
           jobs);
+  if (tail_tuples > 0) Appendf(out, " tail=%zu", tail_tuples);
+  *out += '\n';
 }
 
 }  // namespace
@@ -152,6 +159,10 @@ std::string RenderStats(const ExecStats& stats) {
           "tuples: in_pages=%" PRIu64 " scanned=%" PRIu64 " result=%" PRIu64
           "\n",
           stats.tuples_in_pages, stats.tuples_scanned, stats.result_tuples);
+  if (stats.tail_tuples > 0) {
+    Appendf(&out, "tail: tuples=%" PRIu64 " scanned=%" PRIu64 "\n",
+            stats.tail_tuples, stats.tail_tuples_scanned);
+  }
   Appendf(&out, "bytes loaded: %" PRIu64 "\n", stats.bytes_loaded);
   if (stats.stages.empty()) return out;
 

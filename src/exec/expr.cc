@@ -46,6 +46,8 @@ std::string ExecStats::ToJson() const {
   AppendField(&out, "tuples_scanned", tuples_scanned, &first);
   AppendField(&out, "bytes_loaded", bytes_loaded, &first);
   AppendField(&out, "result_tuples", result_tuples, &first);
+  AppendField(&out, "tail_tuples", tail_tuples, &first);
+  AppendField(&out, "tail_tuples_scanned", tail_tuples_scanned, &first);
   AppendField(&out, "wall_nanos", wall_nanos, &first);
   AppendField(&out, "threads", static_cast<uint64_t>(threads > 0 ? threads : 0),
               &first);

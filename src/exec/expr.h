@@ -119,6 +119,12 @@ struct ExecStats {
   uint64_t tuples_scanned = 0;  // actually decoded/inspected
   uint64_t bytes_loaded = 0;    // encoded payload bytes touched
   uint64_t result_tuples = 0;
+  // Streaming-ingest tail (unsealed in-memory points served by the scalar
+  // tail kernels). tail_tuples counts tail points visible to the scan;
+  // tail_tuples_scanned the subset the tail kernels actually inspected
+  // (also included in tuples_scanned, which stays the grand total).
+  uint64_t tail_tuples = 0;
+  uint64_t tail_tuples_scanned = 0;
 
   // Populated only under collect_stats.
   metrics::StageBreakdown stages;  // summed across jobs/threads
@@ -141,6 +147,8 @@ struct ExecStats {
     tuples_scanned += o.tuples_scanned;
     bytes_loaded += o.bytes_loaded;
     result_tuples += o.result_tuples;
+    tail_tuples += o.tail_tuples;
+    tail_tuples_scanned += o.tail_tuples_scanned;
     stages.Merge(o.stages);
     if (o.wall_nanos > wall_nanos) wall_nanos = o.wall_nanos;
     if (o.threads > threads) threads = o.threads;

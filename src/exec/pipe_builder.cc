@@ -14,17 +14,14 @@ TimeRange EffectiveTimeRange(const LogicalPlan& plan) {
   return r;
 }
 
-/// Collects the non-pruned page indices and counts of one input series.
-Status CollectPages(const storage::SeriesStore& store,
-                    const std::string& name, const TimeRange& trange,
-                    const ValueRange& vrange, bool prune_values,
-                    std::vector<size_t>* page_indices,
-                    std::vector<size_t>* page_counts, QueryStats* stats) {
-  Result<const storage::SeriesStore::Series*> series = store.GetSeries(name);
-  if (!series.ok()) return series.status();
-  const auto& pages = series.value()->pages;
+/// Collects the non-pruned page indices and counts of one input snapshot.
+void CollectPages(const storage::SeriesSnapshot& snap,
+                  const TimeRange& trange, const ValueRange& vrange,
+                  bool prune_values, std::vector<size_t>* page_indices,
+                  std::vector<size_t>* page_counts, QueryStats* stats) {
+  const auto& pages = snap.pages;
   for (size_t p = 0; p < pages.size(); ++p) {
-    const storage::PageHeader& h = pages[p].header;
+    const storage::PageHeader& h = pages[p]->header;
     ++stats->pages_total;
     stats->tuples_in_pages += h.count;
     if (!trange.Overlaps(h.min_time, h.max_time)) {
@@ -36,36 +33,67 @@ Status CollectPages(const storage::SeriesStore& store,
       ++stats->pages_pruned;
       continue;
     }
-    stats->bytes_loaded += pages[p].encoded_bytes();
+    stats->bytes_loaded += pages[p]->encoded_bytes();
     page_indices->push_back(p);
     page_counts->push_back(h.count);
   }
-  return Status::Ok();
+}
+
+/// Tail analogue of the page-header check: snapshot-captured min/max stats
+/// decide whether the tail can contribute at all.
+bool TailSurvivesPruning(const storage::SeriesSnapshot& snap,
+                         const TimeRange& trange, const ValueRange& vrange,
+                         bool prune_values) {
+  if (!trange.Overlaps(snap.tail_min_time(), snap.tail_max_time())) {
+    return false;
+  }
+  if (prune_values && vrange.active) {
+    if (snap.is_float) {
+      if (snap.tail_max_value_f64 < static_cast<double>(vrange.lo) ||
+          snap.tail_min_value_f64 > static_cast<double>(vrange.hi)) {
+        return false;
+      }
+    } else if (snap.tail_max_value < vrange.lo ||
+               snap.tail_min_value > vrange.hi) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
-Result<PipelineSpec> BuildPipeline(const LogicalPlan& plan,
-                                   const storage::SeriesStore& store,
-                                   const PipelineOptions& options) {
-  PipelineSpec spec;
-  TimeRange trange = EffectiveTimeRange(plan);
-
-  std::vector<std::string> inputs{plan.series};
+Result<std::vector<storage::SeriesSnapshot>> ResolveInputs(
+    const LogicalPlan& plan, const storage::SeriesStore& store) {
+  std::vector<storage::SeriesSnapshot> inputs;
+  Result<storage::SeriesSnapshot> left = store.GetSnapshot(plan.series);
+  if (!left.ok()) return left.status();
+  inputs.push_back(std::move(left).value());
   if (plan.kind == LogicalPlan::Kind::kProjectBinary ||
       plan.kind == LogicalPlan::Kind::kUnion ||
       plan.kind == LogicalPlan::Kind::kJoin ||
       plan.kind == LogicalPlan::Kind::kCorrelate) {
-    inputs.push_back(plan.series_right);
+    Result<storage::SeriesSnapshot> right =
+        store.GetSnapshot(plan.series_right);
+    if (!right.ok()) return right.status();
+    inputs.push_back(std::move(right).value());
   }
+  return inputs;
+}
+
+Result<PipelineSpec> BuildPipeline(
+    const LogicalPlan& plan,
+    const std::vector<storage::SeriesSnapshot>& inputs,
+    const PipelineOptions& options) {
+  PipelineSpec spec;
+  TimeRange trange = EffectiveTimeRange(plan);
 
   for (size_t in = 0; in < inputs.size(); ++in) {
+    const storage::SeriesSnapshot& snap = inputs[in];
     std::vector<size_t> page_indices;
     std::vector<size_t> page_counts;
-    ETSQP_RETURN_IF_ERROR(CollectPages(store, inputs[in], trange,
-                                       plan.value_filter, options.prune,
-                                       &page_indices, &page_counts,
-                                       &spec.plan_stats));
+    CollectPages(snap, trange, plan.value_filter, options.prune,
+                 &page_indices, &page_counts, &spec.plan_stats);
     // Lines 5-6 of Algorithm 2: slice pages when cores outnumber them.
     std::vector<PageSlice> slices =
         PlanSlices(page_counts, options.threads, 1024);
@@ -74,8 +102,30 @@ Result<PipelineSpec> BuildPipeline(const LogicalPlan& plan,
                                   page_indices[s.page_index], s.begin,
                                   s.end});
     }
+    // The unsealed tail rides behind the sealed pages of its input: one
+    // scalar job, emitted last so concatenation keeps time order. Tail
+    // tuples count into tuples_in_pages (they are part of the scan's
+    // input volume) and into the tail_tuples breakout.
+    if (snap.has_tail()) {
+      spec.plan_stats.tuples_in_pages += snap.tail_times.size();
+      spec.plan_stats.tail_tuples += snap.tail_times.size();
+      if (TailSurvivesPruning(snap, trange, plan.value_filter,
+                              options.prune)) {
+        spec.jobs.push_back(PipeJob{static_cast<int>(in), 0, 0,
+                                    snap.tail_times.size(), true});
+      }
+    }
   }
   return spec;
+}
+
+Result<PipelineSpec> BuildPipeline(const LogicalPlan& plan,
+                                   const storage::SeriesStore& store,
+                                   const PipelineOptions& options) {
+  Result<std::vector<storage::SeriesSnapshot>> inputs =
+      ResolveInputs(plan, store);
+  if (!inputs.ok()) return inputs.status();
+  return BuildPipeline(plan, inputs.value(), options);
 }
 
 }  // namespace etsqp::exec

@@ -20,12 +20,17 @@ namespace etsqp::exec {
 /// binary operators get one decoding pipeline per input, grouped by time
 /// range and combined by a merge node (Eq. 5-6, Figure 9).
 
-/// One decoding-pipeline job: a slice of one page of one input series.
+/// One decoding-pipeline job: a slice of one page of one input series, or
+/// (when `tail` is set) the unsealed in-memory tail of that input — the
+/// streaming-ingest buffer drained by the scalar tail kernels. Tail jobs
+/// are emitted after the page jobs of their input so per-input
+/// concatenation of job outputs stays in time order.
 struct PipeJob {
   int input = 0;  // 0 = plan.series, 1 = plan.series_right
   size_t page_index = 0;
   size_t begin = 0;
   size_t end = 0;
+  bool tail = false;  // job covers snapshot.tail_* instead of a page
 };
 
 /// The compiled pipeline: jobs ready for the job scheduler, plus counters
@@ -35,8 +40,24 @@ struct PipelineSpec {
   QueryStats plan_stats;  // pages_total / pages_pruned / tuples_in_pages
 };
 
-/// Builds jobs for `plan`. Applies header-level page pruning (time range vs
-/// page min/max always; value range vs page min/max when options.prune).
+/// Captures consistent snapshots of the plan's input series (left, plus
+/// right for binary operators): sealed pages and the queryable tail in one
+/// lock acquisition per input, so execution is stable under concurrent
+/// ingest.
+Result<std::vector<storage::SeriesSnapshot>> ResolveInputs(
+    const LogicalPlan& plan, const storage::SeriesStore& store);
+
+/// Builds jobs for `plan` over resolved input snapshots. Applies
+/// header-level page pruning (time range vs page min/max always; value
+/// range vs page min/max when options.prune), and the same statistics
+/// check to the tail (its min/max are computed at snapshot capture), so
+/// pruning short-circuits the tail too.
+Result<PipelineSpec> BuildPipeline(
+    const LogicalPlan& plan,
+    const std::vector<storage::SeriesSnapshot>& inputs,
+    const PipelineOptions& options);
+
+/// Convenience wrapper: resolves snapshots from `store` and compiles.
 Result<PipelineSpec> BuildPipeline(const LogicalPlan& plan,
                                    const storage::SeriesStore& store,
                                    const PipelineOptions& options);

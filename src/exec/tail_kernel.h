@@ -1,0 +1,56 @@
+#ifndef ETSQP_EXEC_TAIL_KERNEL_H_
+#define ETSQP_EXEC_TAIL_KERNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/pipeline.h"
+
+namespace etsqp::exec {
+
+/// Scalar kernels over the unsealed in-memory tail of a series snapshot
+/// (storage::SeriesSnapshot::tail_*). The tail is raw, unencoded and small
+/// (bounded by the page size times the in-flight seal count), so a scalar
+/// pass is the right tool — the SIMD pipelines earn their keep on encoded
+/// pages. Times are strictly increasing (Definition 1), which the kernels
+/// exploit by binary-searching the time-range bounds.
+///
+/// Stats: processed tuples count into tuples_scanned like the page kernels,
+/// and additionally into tail_tuples_scanned so EXPLAIN ANALYZE can show
+/// how much of a query was served from the tail.
+
+Status TailAggregate(const int64_t* times, const int64_t* values, size_t n,
+                     const TimeRange& trange, const ValueRange& vrange,
+                     AggFunc func, const PipelineOptions& opt,
+                     AggAccum* accum, QueryStats* stats);
+
+Status TailAggregateWindows(const int64_t* times, const int64_t* values,
+                            size_t n, const SlidingWindow& sw, AggFunc func,
+                            const PipelineOptions& opt,
+                            std::map<int64_t, AggAccum>* windows,
+                            QueryStats* stats);
+
+Status TailAggregateF64(const int64_t* times, const double* values, size_t n,
+                        const TimeRange& trange, const ValueRange& vrange,
+                        AggFunc func, const PipelineOptions& opt,
+                        FloatAggAccum* accum, QueryStats* stats);
+
+Status TailAggregateWindowsF64(const int64_t* times, const double* values,
+                               size_t n, const SlidingWindow& sw,
+                               AggFunc func, const PipelineOptions& opt,
+                               std::map<int64_t, FloatAggAccum>* windows,
+                               QueryStats* stats);
+
+/// Emits the filtered (time, value) tuples of the tail — the tail leg of
+/// the SELECT / union / join / correlate materialization.
+Status TailMaterialize(const int64_t* times, const int64_t* values, size_t n,
+                       const TimeRange& trange, const ValueRange& vrange,
+                       const PipelineOptions& opt,
+                       std::vector<int64_t>* out_times,
+                       std::vector<int64_t>* out_values, QueryStats* stats);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_TAIL_KERNEL_H_

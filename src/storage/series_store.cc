@@ -1,133 +1,464 @@
 #include "storage/series_store.h"
 
+#include <utility>
+
 namespace etsqp::storage {
+
+namespace {
+
+/// Definition 1: times within a series are strictly increasing. The whole
+/// batch is checked against the series fence before anything is logged or
+/// buffered, so a rejected batch leaves no partial state.
+Status ValidateOrdering(const SeriesStore::Series& s, const int64_t* times,
+                        size_t n) {
+  int64_t last = s.last_time;
+  for (size_t i = 0; i < n; ++i) {
+    if (times[i] <= last) {
+      return Status::InvalidArgument(
+          "out-of-order timestamp " + std::to_string(times[i]) +
+          " (newest is " + std::to_string(last) + ") in series: " + s.name);
+    }
+    last = times[i];
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+SeriesStore::SeriesStore() : state_(std::make_shared<State>()) {}
+
+SeriesStore::SeriesStore(SeriesStore&& o) noexcept
+    : state_(std::move(o.state_)) {
+  o.state_ = std::make_shared<State>();
+}
+
+SeriesStore& SeriesStore::operator=(SeriesStore&& o) noexcept {
+  if (this != &o) {
+    state_ = std::move(o.state_);
+    o.state_ = std::make_shared<State>();
+  }
+  return *this;
+}
 
 Status SeriesStore::CreateSeries(const std::string& name,
                                  const SeriesOptions& options) {
-  if (series_.count(name) != 0) {
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  if (st->series.count(name) != 0) {
     return Status::InvalidArgument("series exists: " + name);
+  }
+  if (st->wal != nullptr) {
+    ETSQP_RETURN_IF_ERROR(st->wal->AppendCreateSeries(
+        name, static_cast<uint8_t>(options.page.time_encoding),
+        static_cast<uint8_t>(options.page.value_encoding), options.page_size,
+        options.page.block_size));
   }
   Series s;
   s.name = name;
   s.options = options;
-  series_.emplace(name, std::move(s));
+  st->series.emplace(name, std::move(s));
+  return Status::Ok();
+}
+
+Status SeriesStore::CreateSeriesForReplay(const std::string& name,
+                                          const SeriesOptions& options) {
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  if (st->series.count(name) != 0) return Status::Ok();
+  Series s;
+  s.name = name;
+  s.options = options;
+  st->series.emplace(name, std::move(s));
+  return Status::Ok();
+}
+
+Status SeriesStore::BuildSegmentPage(const SealSegment& seg,
+                                     const PageOptions& options,
+                                     bool is_float,
+                                     std::shared_ptr<const Page>* out) {
+  Result<Page> page =
+      is_float ? BuildPageF64(seg.times.data(), seg.values_f64.data(),
+                              seg.times.size(), options)
+               : BuildPage(seg.times.data(), seg.values.data(),
+                           seg.times.size(), options);
+  if (!page.ok()) return page.status();
+  *out = std::make_shared<const Page>(std::move(page).value());
+  return Status::Ok();
+}
+
+void SeriesStore::DrainReadySegmentsLocked(State* st, Series* s) {
+  while (!s->sealing.empty() && s->sealing.front()->ready) {
+    SealSegment& front = *s->sealing.front();
+    if (!front.error.ok()) {
+      if (s->seal_error.ok()) s->seal_error = front.error;
+    } else {
+      s->total_points += front.page->header.count;
+      s->pages.push_back(std::move(front.page));
+      ++st->ingest.pages_sealed;
+      ++st->ingest.background_seals;
+    }
+    s->sealing.pop_front();
+  }
+}
+
+Status SeriesStore::SealBufferLocked(State* st, Series* s) {
+  if (s->buf_times.empty()) return Status::Ok();
+  auto segment = std::make_shared<SealSegment>();
+  segment->times = std::move(s->buf_times);
+  segment->values = std::move(s->buf_values);
+  segment->values_f64 = std::move(s->buf_values_f64);
+  s->buf_times.clear();
+  s->buf_values.clear();
+  s->buf_values_f64.clear();
+
+  if (!st->background_seal || !st->submit) {
+    // Inline seal: encode and install immediately (the seed behaviour).
+    uint64_t t0 = metrics::NowNanos();
+    std::shared_ptr<const Page> page;
+    Status status =
+        BuildSegmentPage(*segment, s->options.page, s->is_float(), &page);
+    st->ingest.seal_nanos += metrics::NowNanos() - t0;
+    if (!status.ok()) return status;
+    s->total_points += page->header.count;
+    s->pages.push_back(std::move(page));
+    ++st->ingest.pages_sealed;
+    return Status::Ok();
+  }
+
+  // Background seal: park the segment (it stays part of the queryable tail
+  // via GetSnapshot) and encode on the executor. The task holds the shared
+  // state, not the SeriesStore shell, so it survives a store move/destroy.
+  s->sealing.push_back(segment);
+  std::shared_ptr<State> state = state_;
+  std::string name = s->name;
+  PageOptions page_options = s->options.page;
+  bool is_float = s->is_float();
+  st->submit([state, segment, name, page_options, is_float] {
+    uint64_t t0 = metrics::NowNanos();
+    std::shared_ptr<const Page> page;
+    Status status = BuildSegmentPage(*segment, page_options, is_float, &page);
+    uint64_t nanos = metrics::NowNanos() - t0;
+    std::unique_lock<std::shared_mutex> lock(state->mu);
+    state->ingest.seal_nanos += nanos;
+    segment->ready = true;
+    segment->page = std::move(page);
+    segment->error = status;
+    auto it = state->series.find(name);
+    if (it != state->series.end()) {
+      DrainReadySegmentsLocked(state.get(), &it->second);
+    }
+    state->seal_cv.notify_all();
+  });
+  return Status::Ok();
+}
+
+Status SeriesStore::AppendLocked(State* st, const std::string& name,
+                                 const int64_t* times, const int64_t* ivalues,
+                                 const double* fvalues, size_t n) {
+  auto it = st->series.find(name);
+  if (it == st->series.end()) return Status::NotFound("series: " + name);
+  Series& s = it->second;
+  if (s.is_float() != (fvalues != nullptr)) {
+    return Status::InvalidArgument(
+        (s.is_float() ? "float series: " : "int series: ") + name);
+  }
+  if (n == 0) return Status::Ok();
+  Status ordered = ValidateOrdering(s, times, n);
+  if (!ordered.ok()) {
+    ++st->ingest.rejected_batches;
+    return ordered;
+  }
+  // Durability before visibility: the WAL write precedes the buffer
+  // mutation, so an acknowledged point is always recoverable.
+  if (st->wal != nullptr) {
+    Status logged =
+        s.is_float()
+            ? st->wal->AppendPointsF64(name, s.appended_points, times,
+                                       fvalues, n)
+            : st->wal->AppendPoints(name, s.appended_points, times, ivalues,
+                                    n);
+    ETSQP_RETURN_IF_ERROR(logged);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    s.buf_times.push_back(times[i]);
+    if (s.is_float()) {
+      s.buf_values_f64.push_back(fvalues[i]);
+    } else {
+      s.buf_values.push_back(ivalues[i]);
+    }
+    if (s.buf_times.size() >= s.options.page_size) {
+      ETSQP_RETURN_IF_ERROR(SealBufferLocked(st, &s));
+    }
+  }
+  s.appended_points += n;
+  s.last_time = times[n - 1];
+  st->ingest.points_appended += n;
+  ++st->ingest.append_batches;
   return Status::Ok();
 }
 
 Status SeriesStore::Append(const std::string& name, int64_t time,
                            int64_t value) {
-  auto it = series_.find(name);
-  if (it == series_.end()) return Status::NotFound("series: " + name);
-  Series& s = it->second;
-  if (s.is_float()) return Status::InvalidArgument("float series: " + name);
-  s.buf_times.push_back(time);
-  s.buf_values.push_back(value);
-  if (s.buf_times.size() >= s.options.page_size) {
-    return FlushSeries(&s);
-  }
-  return Status::Ok();
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  return AppendLocked(st, name, &time, &value, nullptr, 1);
 }
 
 Status SeriesStore::AppendF64(const std::string& name, int64_t time,
                               double value) {
-  auto it = series_.find(name);
-  if (it == series_.end()) return Status::NotFound("series: " + name);
-  Series& s = it->second;
-  if (!s.is_float()) return Status::InvalidArgument("int series: " + name);
-  s.buf_times.push_back(time);
-  s.buf_values_f64.push_back(value);
-  if (s.buf_times.size() >= s.options.page_size) {
-    return FlushSeries(&s);
-  }
-  return Status::Ok();
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  return AppendLocked(st, name, &time, nullptr, &value, 1);
+}
+
+Status SeriesStore::AppendBatch(const std::string& name, const int64_t* times,
+                                const int64_t* values, size_t n) {
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  return AppendLocked(st, name, times, values, nullptr, n);
 }
 
 Status SeriesStore::AppendBatchF64(const std::string& name,
                                    const int64_t* times, const double* values,
                                    size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    ETSQP_RETURN_IF_ERROR(AppendF64(name, times[i], values[i]));
-  }
-  return Status::Ok();
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  return AppendLocked(st, name, times, nullptr, values, n);
 }
 
-Status SeriesStore::AppendBatch(const std::string& name, const int64_t* times,
-                                const int64_t* values, size_t n) {
-  auto it = series_.find(name);
-  if (it == series_.end()) return Status::NotFound("series: " + name);
+Status SeriesStore::ApplyReplayBatch(const std::string& name,
+                                     uint64_t first_seq, const int64_t* times,
+                                     const int64_t* ivalues,
+                                     const double* fvalues, size_t n,
+                                     size_t* points_applied) {
+  *points_applied = 0;
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  auto it = st->series.find(name);
+  if (it == st->series.end()) {
+    return Status::Corruption("wal: append to unknown series: " + name);
+  }
   Series& s = it->second;
-  if (s.is_float()) return Status::InvalidArgument("float series: " + name);
-  for (size_t i = 0; i < n; ++i) {
+  if (s.is_float() != (fvalues != nullptr)) {
+    return Status::Corruption("wal: value type mismatch for series: " + name);
+  }
+  if (first_seq > s.appended_points) {
+    return Status::Corruption(
+        "wal: sequence gap in series " + name + ": record starts at " +
+        std::to_string(first_seq) + ", store has " +
+        std::to_string(s.appended_points));
+  }
+  size_t covered = static_cast<size_t>(s.appended_points - first_seq);
+  if (covered >= n) return Status::Ok();  // checkpoint already has it all
+  times += covered;
+  if (ivalues != nullptr) ivalues += covered;
+  if (fvalues != nullptr) fvalues += covered;
+  size_t apply = n - covered;
+  Status ordered = ValidateOrdering(s, times, apply);
+  if (!ordered.ok()) {
+    return Status::Corruption("wal: " + std::string(ordered.message()));
+  }
+  for (size_t i = 0; i < apply; ++i) {
     s.buf_times.push_back(times[i]);
-    s.buf_values.push_back(values[i]);
+    if (s.is_float()) {
+      s.buf_values_f64.push_back(fvalues[i]);
+    } else {
+      s.buf_values.push_back(ivalues[i]);
+    }
     if (s.buf_times.size() >= s.options.page_size) {
-      ETSQP_RETURN_IF_ERROR(FlushSeries(&s));
+      ETSQP_RETURN_IF_ERROR(SealBufferLocked(st, &s));
     }
   }
+  s.appended_points += apply;
+  s.last_time = times[apply - 1];
+  *points_applied = apply;
   return Status::Ok();
 }
 
 Status SeriesStore::Flush(const std::string& name) {
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  auto flush_one = [&](Series* s) -> Status {
+    // Wait out in-flight background seals first so the final page lands
+    // after them in time order.
+    st->seal_cv.wait(lock, [&] { return s->sealing.empty(); });
+    if (!s->seal_error.ok()) return s->seal_error;
+    ETSQP_RETURN_IF_ERROR(SealBufferLocked(st, s));
+    // With background sealing the final buffer went to the executor too:
+    // Flush promises an empty tail, so wait for its install as well.
+    st->seal_cv.wait(lock, [&] { return s->sealing.empty(); });
+    return s->seal_error;
+  };
   if (!name.empty()) {
-    auto it = series_.find(name);
-    if (it == series_.end()) return Status::NotFound("series: " + name);
-    return FlushSeries(&it->second);
+    auto it = st->series.find(name);
+    if (it == st->series.end()) return Status::NotFound("series: " + name);
+    return flush_one(&it->second);
   }
-  for (auto& [unused, s] : series_) {
-    ETSQP_RETURN_IF_ERROR(FlushSeries(&s));
+  for (auto& [unused, s] : st->series) {
+    ETSQP_RETURN_IF_ERROR(flush_one(&s));
   }
-  return Status::Ok();
-}
-
-Status SeriesStore::FlushSeries(Series* s) {
-  if (s->buf_times.empty()) return Status::Ok();
-  Result<Page> page =
-      s->is_float()
-          ? BuildPageF64(s->buf_times.data(), s->buf_values_f64.data(),
-                         s->buf_times.size(), s->options.page)
-          : BuildPage(s->buf_times.data(), s->buf_values.data(),
-                      s->buf_times.size(), s->options.page);
-  if (!page.ok()) return page.status();
-  s->total_points += s->buf_times.size();
-  s->pages.push_back(std::move(page).value());
-  s->buf_times.clear();
-  s->buf_values.clear();
-  s->buf_values_f64.clear();
   return Status::Ok();
 }
 
 Status SeriesStore::AddPage(const std::string& name, Page page) {
-  auto it = series_.find(name);
-  if (it == series_.end()) return Status::NotFound("series: " + name);
-  it->second.total_points += page.header.count;
-  it->second.pages.push_back(std::move(page));
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  auto it = st->series.find(name);
+  if (it == st->series.end()) return Status::NotFound("series: " + name);
+  Series& s = it->second;
+  uint32_t count = page.header.count;
+  int64_t max_time = page.header.max_time;
+  s.total_points += count;
+  s.appended_points += count;
+  if (max_time > s.last_time) s.last_time = max_time;
+  s.pages.push_back(std::make_shared<const Page>(std::move(page)));
   return Status::Ok();
 }
 
+Result<SeriesSnapshot> SeriesStore::GetSnapshot(
+    const std::string& name) const {
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
+  auto it = st->series.find(name);
+  if (it == st->series.end()) return Status::NotFound("series: " + name);
+  const Series& s = it->second;
+  SeriesSnapshot snap;
+  snap.name = s.name;
+  snap.page_options = s.options.page;
+  snap.is_float = s.is_float();
+  snap.pages = s.pages;  // shared, immutable
+
+  size_t tail = s.buf_times.size();
+  for (const auto& seg : s.sealing) tail += seg->times.size();
+  snap.tail_times.reserve(tail);
+  if (snap.is_float) {
+    snap.tail_values_f64.reserve(tail);
+  } else {
+    snap.tail_values.reserve(tail);
+  }
+  auto take = [&](const std::vector<int64_t>& times,
+                  const std::vector<int64_t>& values,
+                  const std::vector<double>& values_f64) {
+    snap.tail_times.insert(snap.tail_times.end(), times.begin(), times.end());
+    if (snap.is_float) {
+      snap.tail_values_f64.insert(snap.tail_values_f64.end(),
+                                  values_f64.begin(), values_f64.end());
+    } else {
+      snap.tail_values.insert(snap.tail_values.end(), values.begin(),
+                              values.end());
+    }
+  };
+  for (const auto& seg : s.sealing) {
+    take(seg->times, seg->values, seg->values_f64);
+  }
+  take(s.buf_times, s.buf_values, s.buf_values_f64);
+
+  if (!snap.tail_times.empty()) {
+    if (snap.is_float) {
+      double lo = snap.tail_values_f64[0], hi = lo;
+      for (double v : snap.tail_values_f64) {
+        if (v < lo) lo = v;
+        if (v > hi) hi = v;
+      }
+      snap.tail_min_value_f64 = lo;
+      snap.tail_max_value_f64 = hi;
+    } else {
+      int64_t lo = snap.tail_values[0], hi = lo;
+      for (int64_t v : snap.tail_values) {
+        if (v < lo) lo = v;
+        if (v > hi) hi = v;
+      }
+      snap.tail_min_value = lo;
+      snap.tail_max_value = hi;
+    }
+  }
+  return snap;
+}
+
 bool SeriesStore::HasSeries(const std::string& name) const {
-  return series_.count(name) != 0;
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
+  return st->series.count(name) != 0;
 }
 
 Result<const SeriesStore::Series*> SeriesStore::GetSeries(
     const std::string& name) const {
-  auto it = series_.find(name);
-  if (it == series_.end()) return Status::NotFound("series: " + name);
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
+  auto it = st->series.find(name);
+  if (it == st->series.end()) return Status::NotFound("series: " + name);
   return &it->second;
 }
 
 std::vector<std::string> SeriesStore::SeriesNames() const {
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
   std::vector<std::string> names;
-  names.reserve(series_.size());
-  for (const auto& [name, unused] : series_) names.push_back(name);
+  names.reserve(st->series.size());
+  for (const auto& [name, unused] : st->series) names.push_back(name);
   return names;
 }
 
 uint64_t SeriesStore::EncodedBytes(const std::string& name) const {
-  auto it = series_.find(name);
-  if (it == series_.end()) return 0;
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
+  auto it = st->series.find(name);
+  if (it == st->series.end()) return 0;
   uint64_t total = 0;
-  for (const Page& p : it->second.pages) total += p.encoded_bytes();
+  for (const auto& p : it->second.pages) total += p->encoded_bytes();
   return total;
+}
+
+void SeriesStore::AttachWal(std::unique_ptr<Wal> wal) {
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  st->wal = std::move(wal);
+}
+
+Wal* SeriesStore::wal() const {
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
+  return st->wal.get();
+}
+
+void SeriesStore::SetBackgroundSeal(bool enabled, TaskSubmitter submit) {
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  st->background_seal = enabled;
+  st->submit = std::move(submit);
+}
+
+metrics::IngestStats SeriesStore::ingest_stats() const {
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
+  metrics::IngestStats stats = st->ingest;
+  for (const auto& [unused, s] : st->series) {
+    stats.tail_points += s.buf_times.size();
+    for (const auto& seg : s.sealing) stats.tail_points += seg->times.size();
+  }
+  if (st->wal != nullptr) {
+    Wal::Stats w = st->wal->stats();
+    stats.wal_records = w.records;
+    stats.wal_bytes = w.bytes;
+    stats.wal_fsyncs = w.fsyncs;
+    stats.wal_sync_nanos = w.sync_nanos;
+  }
+  return stats;
+}
+
+uint64_t SeriesStore::AppendedPoints(const std::string& name) const {
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
+  auto it = st->series.find(name);
+  return it == st->series.end() ? 0 : it->second.appended_points;
+}
+
+void SeriesStore::NoteRecovery(const Wal::ReplayStats& replay) {
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  st->ingest.recovered_records = replay.records_applied;
+  st->ingest.recovered_points = replay.points_applied;
+  st->ingest.dropped_wal_records = replay.records_dropped;
 }
 
 }  // namespace etsqp::storage

@@ -1,22 +1,77 @@
 #ifndef ETSQP_STORAGE_SERIES_STORE_H_
 #define ETSQP_STORAGE_SERIES_STORE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "storage/page.h"
 #include "storage/page_builder.h"
+#include "storage/wal.h"
 
 namespace etsqp::storage {
 
+/// A point-in-time view of one series for query execution: the sealed
+/// encoded pages (shared, immutable) plus a copy of the unsealed in-memory
+/// tail. Snapshots are consistent — pages and tail are captured under one
+/// lock acquisition, so a query sees every acknowledged point exactly once
+/// regardless of concurrent appends or background seals. Tail min/max are
+/// computed at capture so pruning can short-circuit the tail the same way
+/// page-header stats short-circuit sealed pages.
+struct SeriesSnapshot {
+  std::string name;
+  PageOptions page_options;
+  bool is_float = false;
+  std::vector<std::shared_ptr<const Page>> pages;
+  // Unsealed tail (pending-seal segments + active buffer, in time order).
+  std::vector<int64_t> tail_times;
+  std::vector<int64_t> tail_values;      // int series
+  std::vector<double> tail_values_f64;   // float series
+  // Tail statistics (valid only when tail_times is non-empty). Times are
+  // strictly increasing, so min/max time are the ends of tail_times.
+  int64_t tail_min_value = 0;
+  int64_t tail_max_value = 0;
+  double tail_min_value_f64 = 0;
+  double tail_max_value_f64 = 0;
+
+  bool has_tail() const { return !tail_times.empty(); }
+  int64_t tail_min_time() const { return tail_times.front(); }
+  int64_t tail_max_time() const { return tail_times.back(); }
+  uint64_t total_points() const {
+    uint64_t n = tail_times.size();
+    for (const auto& p : pages) n += p->header.count;
+    return n;
+  }
+};
+
 /// In-memory series catalog mirroring the IoTDB storage model (paper Section
-/// III-C): each time series is a sequence of separately encoded pages.
-/// Ingestion buffers raw points per series and flushes a page whenever the
-/// buffer reaches the page size — the "receiving buffer filled -> flush
-/// encoded blocks" behaviour of Figure 1.
+/// III-C): each time series is a sequence of separately encoded pages fed by
+/// a per-series ingestion buffer — the "receiving buffer filled -> flush
+/// encoded blocks" behaviour of Figure 1. This is the hub of the streaming
+/// ingest subsystem (docs/ARCHITECTURE.md "Ingest lifecycle"):
+///
+///  - Appends are validated (times strictly increasing per Definition 1;
+///    out-of-order or duplicate timestamps are rejected whole-batch with
+///    InvalidArgument), logged to the attached WAL if any, then buffered.
+///  - The buffered tail is queryable immediately via GetSnapshot — no Flush
+///    needed for read-your-writes.
+///  - When the buffer reaches page_size the segment seals into an encoded
+///    page: inline by default, or off-thread when background sealing is
+///    enabled (SetBackgroundSeal) so encoding stays off the ingest path.
+///  - All public methods are internally synchronized; concurrent Append and
+///    GetSnapshot from different threads is a supported, tested contract.
+///
+/// GetSeries returns a pointer into the catalog and is NOT stable under
+/// concurrent mutation; it exists for single-threaded inspection (tests,
+/// tools, benches). Query execution uses GetSnapshot.
 class SeriesStore {
  public:
   struct SeriesOptions {
@@ -24,27 +79,59 @@ class SeriesStore {
     uint32_t page_size = 4096;  // points per page
   };
 
+  /// A buffer segment handed to the sealer. With background sealing the
+  /// encode runs on a pool task; install happens in deque order so pages
+  /// always land in time order even when encodes finish out of order.
+  struct SealSegment {
+    std::vector<int64_t> times;
+    std::vector<int64_t> values;
+    std::vector<double> values_f64;
+    bool ready = false;                 // encode finished (page or error)
+    std::shared_ptr<const Page> page;   // set on success
+    Status error = Status::Ok();        // set on failure (sticky via Series)
+  };
+
   struct Series {
     std::string name;
     SeriesOptions options;
-    std::vector<Page> pages;
-    // Ingestion buffer (not yet queryable until flushed).
+    std::vector<std::shared_ptr<const Page>> pages;
+    // Ingestion buffer: the active (newest) part of the queryable tail.
     std::vector<int64_t> buf_times;
     std::vector<int64_t> buf_values;
     std::vector<double> buf_values_f64;  // float series only
-    uint64_t total_points = 0;  // flushed points
+    // Segments cut from the buffer, waiting for their encode + in-order
+    // install. Older than buf_*, newer than pages.
+    std::deque<std::shared_ptr<SealSegment>> sealing;
+    uint64_t total_points = 0;     // sealed points
+    uint64_t appended_points = 0;  // ever-acknowledged points (WAL seq)
+    int64_t last_time = INT64_MIN;  // ordering fence (Definition 1)
+    Status seal_error = Status::Ok();  // sticky background-seal failure
 
     bool is_float() const {
       return enc::IsFloatEncoding(options.page.value_encoding);
     }
   };
 
+  /// Hands a closure to an executor (exec::ThreadPool via the db layer —
+  /// injected as a function so storage does not link exec).
+  using TaskSubmitter = std::function<void(std::function<void()>)>;
+
+  SeriesStore();
+  ~SeriesStore() = default;
+  SeriesStore(SeriesStore&& o) noexcept;
+  SeriesStore& operator=(SeriesStore&& o) noexcept;
+  SeriesStore(const SeriesStore&) = delete;
+  SeriesStore& operator=(const SeriesStore&) = delete;
+
   Status CreateSeries(const std::string& name, const SeriesOptions& options);
 
-  /// Appends one point; flushes a page when the buffer fills.
+  /// Appends one point; seals a page when the buffer fills. Rejects
+  /// non-monotone timestamps (time must exceed the series' newest time).
   Status Append(const std::string& name, int64_t time, int64_t value);
 
-  /// Bulk append.
+  /// Bulk append: all-or-nothing. The whole batch is validated (strictly
+  /// increasing, first time past the series fence) before any point is
+  /// logged or buffered.
   Status AppendBatch(const std::string& name, const int64_t* times,
                      const int64_t* values, size_t n);
 
@@ -53,11 +140,17 @@ class SeriesStore {
   Status AppendBatchF64(const std::string& name, const int64_t* times,
                         const double* values, size_t n);
 
-  /// Flushes any buffered points of `name` (all series when name is empty).
+  /// Seals any buffered points of `name` (all series when name is empty)
+  /// into pages, waiting out in-flight background seals so pages land in
+  /// time order. After Flush the tail is empty.
   Status Flush(const std::string& name = "");
 
-  /// Installs an already-built page (used by TsFile loading).
+  /// Installs an already-built page (used by TsFile loading). Advances the
+  /// ordering fence to the page's max time.
   Status AddPage(const std::string& name, Page page);
+
+  /// Captures a consistent sealed+tail view for query execution.
+  Result<SeriesSnapshot> GetSnapshot(const std::string& name) const;
 
   bool HasSeries(const std::string& name) const;
   Result<const Series*> GetSeries(const std::string& name) const;
@@ -66,10 +159,70 @@ class SeriesStore {
   /// Total encoded bytes across all pages of `name` (compression metric).
   uint64_t EncodedBytes(const std::string& name) const;
 
- private:
-  Status FlushSeries(Series* series);
+  // --- Streaming ingest subsystem ---------------------------------------
 
-  std::map<std::string, Series> series_;
+  /// Attaches a write-ahead log: every subsequent CreateSeries/Append* is
+  /// framed into `wal` before it mutates the store. Call Wal::ReplayInto
+  /// (via the db layer's Recover) before attaching so existing records are
+  /// applied first.
+  void AttachWal(std::unique_ptr<Wal> wal);
+  Wal* wal() const;
+
+  /// Enables (or disables) off-thread page sealing. `submit` runs a closure
+  /// on an executor; tasks hold the store's shared state so they stay safe
+  /// even if the store is destroyed first, but callers must drain their
+  /// executor before dropping it (IotDbLite keys this to a TaskGroup).
+  void SetBackgroundSeal(bool enabled, TaskSubmitter submit);
+
+  /// Snapshot of the ingest counters (WAL counters merged in).
+  metrics::IngestStats ingest_stats() const;
+
+  /// Points ever acknowledged for `name` (the WAL sequence fence); 0 when
+  /// the series does not exist.
+  uint64_t AppendedPoints(const std::string& name) const;
+
+  /// Replay-path hooks (Wal::ReplayInto): like CreateSeries/AppendBatch but
+  /// never write to the WAL, and ApplyReplayBatch is idempotent — points of
+  /// the record already covered by `appended_points` (a checkpoint restored
+  /// them) are skipped; only the missing suffix applies. A record starting
+  /// beyond the fence is a sequence gap => Corruption.
+  Status CreateSeriesForReplay(const std::string& name,
+                               const SeriesOptions& options);
+  Status ApplyReplayBatch(const std::string& name, uint64_t first_seq,
+                          const int64_t* times, const int64_t* ivalues,
+                          const double* fvalues, size_t n,
+                          size_t* points_applied);
+
+  /// Counters bookkeeping after a recovery pass (db layer).
+  void NoteRecovery(const Wal::ReplayStats& replay);
+
+ private:
+  /// All synchronized state lives behind one shared_ptr so (a) the store
+  /// stays movable (benches return stores by value) and (b) background
+  /// seal tasks outlive any particular SeriesStore shell.
+  struct State {
+    mutable std::shared_mutex mu;
+    std::condition_variable_any seal_cv;  // signals segment installs
+    std::map<std::string, Series> series;
+    std::unique_ptr<Wal> wal;
+    bool background_seal = false;
+    TaskSubmitter submit;
+    metrics::IngestStats ingest;
+  };
+
+  Status AppendLocked(State* st, const std::string& name,
+                      const int64_t* times, const int64_t* ivalues,
+                      const double* fvalues, size_t n);
+  /// Cuts the full buffer into a segment and seals it (inline or via the
+  /// executor). Caller holds the unique lock.
+  Status SealBufferLocked(State* st, Series* s);
+  /// Installs every ready segment at the front of s->sealing, in order.
+  static void DrainReadySegmentsLocked(State* st, Series* s);
+  static Status BuildSegmentPage(const SealSegment& seg,
+                                 const PageOptions& options, bool is_float,
+                                 std::shared_ptr<const Page>* out);
+
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace etsqp::storage

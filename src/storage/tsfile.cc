@@ -9,6 +9,10 @@ namespace etsqp::storage {
 
 namespace {
 constexpr uint32_t kMagic = 0x45545351;  // 'ETSQ'
+// Sanity bounds for ReadTsFile: series names are dotted identifiers, and a
+// serialized page is never smaller than its fixed header (page.cc).
+constexpr uint32_t kMaxNameLen = 4096;
+constexpr size_t kMinSerializedPageBytes = 4 + 2 + 32 + 8;
 }  // namespace
 
 Status WriteTsFile(const SeriesStore& store, const std::string& path) {
@@ -20,13 +24,13 @@ Status WriteTsFile(const SeriesStore& store, const std::string& path) {
     Result<const SeriesStore::Series*> series = store.GetSeries(name);
     if (!series.ok()) return series.status();
     const SeriesStore::Series* s = series.value();
-    if (!s->buf_times.empty()) {
+    if (!s->buf_times.empty() || !s->sealing.empty()) {
       return Status::InvalidArgument("tsfile: unflushed series " + name);
     }
     PutFixed32BE(&out, static_cast<uint32_t>(name.size()));
     out.insert(out.end(), name.begin(), name.end());
     PutFixed32BE(&out, static_cast<uint32_t>(s->pages.size()));
-    for (const Page& page : s->pages) SerializePage(page, &out);
+    for (const auto& page : s->pages) SerializePage(*page, &out);
   }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("open for write: " + path);
@@ -41,6 +45,10 @@ Status ReadTsFile(const std::string& path, SeriesStore* store) {
   if (f == nullptr) return Status::IoError("open for read: " + path);
   std::fseek(f, 0, SEEK_END);
   long file_size = std::ftell(f);
+  if (file_size < 0) {
+    std::fclose(f);
+    return Status::IoError("size: " + path);
+  }
   std::fseek(f, 0, SEEK_SET);
   std::vector<uint8_t> data(static_cast<size_t>(file_size));
   size_t read = std::fread(data.data(), 1, data.size(), f);
@@ -52,10 +60,19 @@ Status ReadTsFile(const std::string& path, SeriesStore* store) {
   }
   uint32_t num_series = GetFixed32BE(data.data() + 4);
   size_t pos = 8;
+  // Every series costs at least name_len + num_pages (8 bytes): a count the
+  // file cannot possibly hold is corruption, not a long loop over it.
+  if (static_cast<uint64_t>(num_series) * 8 > data.size() - pos) {
+    return Status::Corruption("tsfile: series count exceeds file size");
+  }
   for (uint32_t i = 0; i < num_series; ++i) {
     if (pos + 4 > data.size()) return Status::Corruption("tsfile: truncated");
     uint32_t name_len = GetFixed32BE(data.data() + pos);
     pos += 4;
+    if (name_len > kMaxNameLen) {
+      return Status::Corruption("tsfile: name length " +
+                                std::to_string(name_len) + " exceeds limit");
+    }
     if (pos + name_len + 4 > data.size()) {
       return Status::Corruption("tsfile: truncated");
     }
@@ -64,14 +81,35 @@ Status ReadTsFile(const std::string& path, SeriesStore* store) {
     pos += name_len;
     uint32_t num_pages = GetFixed32BE(data.data() + pos);
     pos += 4;
-    ETSQP_RETURN_IF_ERROR(
-        store->CreateSeries(name, SeriesStore::SeriesOptions{}));
+    // A serialized page is at least its fixed header; bound the count
+    // before looping so a flipped length fails fast and cleanly.
+    if (static_cast<uint64_t>(num_pages) * kMinSerializedPageBytes >
+        data.size() - pos) {
+      return Status::Corruption("tsfile: page count for series " + name +
+                                " exceeds file size");
+    }
+    std::vector<Page> pages;
+    pages.reserve(num_pages);
     for (uint32_t p = 0; p < num_pages; ++p) {
       Page page;
       ETSQP_RETURN_IF_ERROR(
           DeserializePage(data.data(), data.size(), &pos, &page));
+      pages.push_back(std::move(page));
+    }
+    // Derive the series options from the first page so loaded series keep
+    // their value type (float encodings) and encoding configuration.
+    SeriesStore::SeriesOptions opt;
+    if (!pages.empty()) {
+      opt.page.time_encoding = pages[0].header.time_encoding;
+      opt.page.value_encoding = pages[0].header.value_encoding;
+    }
+    ETSQP_RETURN_IF_ERROR(store->CreateSeries(name, opt));
+    for (Page& page : pages) {
       ETSQP_RETURN_IF_ERROR(store->AddPage(name, std::move(page)));
     }
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("tsfile: trailing bytes after last series");
   }
   return Status::Ok();
 }

@@ -205,7 +205,7 @@ TEST(PipelineEdgeTest, SlicePartitionsSumToWhole) {
               enc::ColumnEncoding::kTs2Diff, 8192);
   auto series = f.store.GetSeries("s");
   ASSERT_TRUE(series.ok());
-  const storage::Page& page = series.value()->pages[0];
+  const storage::Page& page = *series.value()->pages[0];
   PipelineOptions opt = PipelineOptions::Etsqp(1);
   AggAccum whole;
   QueryStats st;

@@ -186,7 +186,8 @@ TEST(TsFileTest, WriteReadRoundTrip) {
   ASSERT_TRUE(series.ok());
   uint64_t total = 0;
   std::vector<int64_t> values;
-  for (const Page& p : series.value()->pages) {
+  for (const auto& page_ptr : series.value()->pages) {
+    const Page& p = *page_ptr;
     std::vector<int64_t> v(p.header.count);
     ASSERT_TRUE(DecodePageColumn(p.value_data, p.header.value_encoding,
                                  p.header.count, v.data())
@@ -214,6 +215,76 @@ TEST(TsFileTest, RejectsBadMagic) {
   std::fclose(f);
   SeriesStore store;
   EXPECT_FALSE(ReadTsFile(path, &store).ok());
+  std::remove(path.c_str());
+}
+
+// Regression for the ReadTsFile hardening: every malformed-header shape
+// must come back as a clean Corruption status, never a crash, hang, or
+// huge allocation.
+TEST(TsFileTest, RejectsCorruptHeaders) {
+  std::string path = ::testing::TempDir() + "/etsqp_corrupt.tsfile";
+
+  // A small valid file to mutate: one series, one page.
+  {
+    SeriesStore store;
+    ASSERT_TRUE(store.CreateSeries("s", {}).ok());
+    TestSeries s = MakeWalk(100, 7);
+    ASSERT_TRUE(
+        store.AppendBatch("s", s.times.data(), s.values.data(), 100).ok());
+    ASSERT_TRUE(store.Flush().ok());
+    ASSERT_TRUE(WriteTsFile(store, path).ok());
+  }
+  std::vector<uint8_t> valid;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    valid.resize(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(valid.data(), 1, valid.size(), f), valid.size());
+    std::fclose(f);
+  }
+
+  auto write_and_read = [&](const std::vector<uint8_t>& bytes) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    SeriesStore store;
+    return ReadTsFile(path, &store);
+  };
+
+  // Absurd series count (file cannot hold it).
+  std::vector<uint8_t> mutated = valid;
+  mutated[4] = 0xff;
+  mutated[5] = 0xff;
+  EXPECT_EQ(write_and_read(mutated).code(), StatusCode::kCorruption);
+
+  // Name length past every sane bound.
+  mutated = valid;
+  mutated[8] = 0xff;  // name_len is the first field after the header
+  EXPECT_EQ(write_and_read(mutated).code(), StatusCode::kCorruption);
+
+  // Page count beyond what the remaining bytes can hold.
+  // Layout: magic(4) num_series(4) name_len(4) name(1) num_pages(4).
+  mutated = valid;
+  mutated[13] = 0xff;
+  EXPECT_EQ(write_and_read(mutated).code(), StatusCode::kCorruption);
+
+  // Truncations at every prefix length must error, not crash.
+  for (size_t len : {size_t{9}, size_t{12}, size_t{20},
+                     valid.size() / 2, valid.size() - 1}) {
+    mutated.assign(valid.begin(), valid.begin() + static_cast<long>(len));
+    EXPECT_FALSE(write_and_read(mutated).ok()) << "prefix " << len;
+  }
+
+  // Trailing garbage after the last series.
+  mutated = valid;
+  mutated.push_back(0xab);
+  EXPECT_EQ(write_and_read(mutated).code(), StatusCode::kCorruption);
+
+  // The unmutated file still loads.
+  EXPECT_TRUE(write_and_read(valid).ok());
   std::remove(path.c_str());
 }
 
@@ -355,7 +426,8 @@ TEST(TsFileTest, FloatSeriesRoundTrip) {
   auto series = loaded.GetSeries("f");
   ASSERT_TRUE(series.ok());
   size_t at = 0;
-  for (const Page& p : series.value()->pages) {
+  for (const auto& page_ptr : series.value()->pages) {
+    const Page& p = *page_ptr;
     ASSERT_TRUE(enc::IsFloatEncoding(p.header.value_encoding));
     std::vector<double> out(p.header.count);
     ASSERT_TRUE(DecodePageColumnF64(p.value_data, p.header.value_encoding,

@@ -384,7 +384,7 @@ TEST(FastLanesExecTest, LoadsDatasetWithFlmmEncoding) {
   ASSERT_TRUE(names.ok());
   auto series = store.GetSeries(names.value()[0]);
   ASSERT_TRUE(series.ok());
-  EXPECT_EQ(series.value()->pages[0].header.value_encoding,
+  EXPECT_EQ(series.value()->pages[0]->header.value_encoding,
             enc::ColumnEncoding::kFastLanes);
 }
 

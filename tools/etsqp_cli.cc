@@ -12,6 +12,10 @@
 //   .threads N           worker threads
 //   .pool                process-wide executor pool counters (workers,
 //                        tasks, steals, parks)
+//   .ingest <wal.log>    enable streaming ingest: open + replay the WAL at
+//                        that path, attach it, seal pages in the background
+//   .ingest              ingest/WAL/seal counters
+//   .checkpoint <file>   flush + save a TsFile + truncate the WAL
 //   SELECT ...;          any Table III dialect statement
 //   EXPLAIN [ANALYZE] SELECT ...;   show the compiled Pipe plan
 //   .quit
@@ -130,6 +134,62 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(ps.steals),
           static_cast<unsigned long long>(ps.parks),
           static_cast<double>(ps.park_nanos) / 1e6);
+      continue;
+    }
+    if (cmd.rfind(".ingest", 0) == 0) {
+      std::string arg = cmd.size() > 7 ? cmd.substr(7) : "";
+      while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+      if (!arg.empty()) {
+        db::IotDbLite::IngestConfig cfg;
+        cfg.wal_path = arg;
+        cfg.background_seal = true;
+        Status ist = dbi.EnableIngest(cfg);
+        if (!ist.ok()) {
+          std::printf("error: %s\n", ist.ToString().c_str());
+          continue;
+        }
+        const storage::Wal::ReplayStats& rec = dbi.last_recovery();
+        std::printf(
+            "ingest on: WAL %s (recovered %llu records / %llu points, "
+            "dropped %llu), background sealing enabled\n",
+            arg.c_str(),
+            static_cast<unsigned long long>(rec.records_applied),
+            static_cast<unsigned long long>(rec.points_applied),
+            static_cast<unsigned long long>(rec.records_dropped));
+        continue;
+      }
+      metrics::IngestStats is = dbi.ingest_stats();
+      std::printf(
+          "ingest: points=%llu batches=%llu rejected=%llu tail=%llu\n"
+          "seal:   pages=%llu background=%llu time=%.3f ms\n"
+          "wal:    records=%llu bytes=%llu fsyncs=%llu sync=%.3f ms\n"
+          "recovery: records=%llu points=%llu dropped=%llu\n",
+          static_cast<unsigned long long>(is.points_appended),
+          static_cast<unsigned long long>(is.append_batches),
+          static_cast<unsigned long long>(is.rejected_batches),
+          static_cast<unsigned long long>(is.tail_points),
+          static_cast<unsigned long long>(is.pages_sealed),
+          static_cast<unsigned long long>(is.background_seals),
+          static_cast<double>(is.seal_nanos) / 1e6,
+          static_cast<unsigned long long>(is.wal_records),
+          static_cast<unsigned long long>(is.wal_bytes),
+          static_cast<unsigned long long>(is.wal_fsyncs),
+          static_cast<double>(is.wal_sync_nanos) / 1e6,
+          static_cast<unsigned long long>(is.recovered_records),
+          static_cast<unsigned long long>(is.recovered_points),
+          static_cast<unsigned long long>(is.dropped_wal_records));
+      continue;
+    }
+    if (cmd.rfind(".checkpoint", 0) == 0) {
+      std::string arg = cmd.size() > 11 ? cmd.substr(11) : "";
+      while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+      if (arg.empty()) {
+        std::printf("usage: .checkpoint <file.tsfile>\n");
+        continue;
+      }
+      Status cst = dbi.Checkpoint(arg);
+      std::printf("%s\n", cst.ok() ? ("checkpointed to " + arg).c_str()
+                                   : cst.ToString().c_str());
       continue;
     }
     if (cmd.rfind(".profile", 0) == 0) {
