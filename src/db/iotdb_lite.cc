@@ -1,5 +1,6 @@
 #include "db/iotdb_lite.h"
 
+#include "exec/scheduler_registry.h"
 #include "exec/thread_pool.h"
 #include "sql/planner.h"
 #include "storage/tsfile.h"
@@ -8,16 +9,21 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 namespace etsqp::db {
 
 namespace {
 
-exec::PipelineOptions ModeOptions(IotDbLite::Mode mode, int threads,
-                                  bool collect_stats) {
+exec::PipelineOptions ModeOptions(
+    IotDbLite::Mode mode, int threads, bool collect_stats,
+    std::shared_ptr<const exec::CostCalibration> calibration) {
   exec::PipelineOptions o = mode == IotDbLite::Mode::kScalar
                                 ? exec::PipelineOptions::Serial()
                                 : exec::PipelineOptions::EtsqpPrune(threads);
+  if (mode == IotDbLite::Mode::kSimd) {
+    o.WithCalibration(std::move(calibration));
+  }
   return o.WithStats(collect_stats);
 }
 
@@ -26,11 +32,12 @@ exec::PipelineOptions ModeOptions(IotDbLite::Mode mode, int threads,
 IotDbLite::IotDbLite(Mode mode, int threads)
     : mode_(mode),
       threads_(mode == Mode::kScalar ? 1 : threads),
-      engine_(ModeOptions(mode, threads, false)) {}
+      engine_(ModeOptions(mode, threads, false, nullptr)) {}
 
 void IotDbLite::RebuildEngine() {
   // Caller holds engine_mu_ exclusively: no query observes a half-swap.
-  engine_ = exec::Engine(ModeOptions(mode_, threads_, collect_stats_));
+  engine_ = exec::Engine(
+      ModeOptions(mode_, threads_, collect_stats_, calibration_));
 }
 
 void IotDbLite::SetMode(Mode mode) {
@@ -60,8 +67,11 @@ Status IotDbLite::OpenFile(const std::string& path,
   storage::FileBackedStore::Options options;
   options.memory_budget_bytes = memory_budget_bytes;
   ETSQP_RETURN_IF_ERROR(store->Open(path, options));
-  std::unique_lock<std::shared_mutex> lock(*engine_mu_);
-  file_store_ = std::move(store);
+  {
+    std::unique_lock<std::shared_mutex> lock(*engine_mu_);
+    file_store_ = std::move(store);
+  }
+  TryAttachCalibration(path + ".calib");
   return Status::Ok();
 }
 
@@ -166,7 +176,31 @@ Status IotDbLite::Save(const std::string& path) const {
 }
 
 Status IotDbLite::Load(const std::string& path) {
-  return storage::ReadTsFile(path, &store_);
+  ETSQP_RETURN_IF_ERROR(storage::ReadTsFile(path, &store_));
+  TryAttachCalibration(path + ".calib");
+  return Status::Ok();
+}
+
+void IotDbLite::TryAttachCalibration(const std::string& path) {
+  // Best-effort: a missing, corrupt, or version-skewed cache silently
+  // leaves the static CostConstants in force.
+  Result<exec::CostCalibration> cal = exec::CostCalibration::LoadFromFile(path);
+  if (!cal.ok()) return;
+  std::unique_lock<std::shared_mutex> lock(*engine_mu_);
+  calibration_ =
+      std::make_shared<const exec::CostCalibration>(std::move(cal).value());
+  RebuildEngine();
+}
+
+Status IotDbLite::Calibrate(const std::string& path) {
+  bool measured = false;
+  Result<std::shared_ptr<const exec::CostCalibration>> cal =
+      exec::CostCalibration::LoadOrMeasure(path, &measured);
+  if (!cal.ok()) return cal.status();
+  std::unique_lock<std::shared_mutex> lock(*engine_mu_);
+  calibration_ = std::move(cal).value();
+  RebuildEngine();
+  return Status::Ok();
 }
 
 Status IotDbLite::ImportCsv(const std::string& series,

@@ -121,8 +121,23 @@ class IotDbLite {
   bool collect_stats() const { return collect_stats_; }
 
   /// Persists all (flushed) series to a TsFile / loads one written earlier.
+  /// Load also looks for a calibration cache at `<path>.calib` and attaches
+  /// it when present and intact (silent fallback to the static cost model
+  /// otherwise).
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
+
+  /// Self-tuning calibration for the SchedulerRegistry (Mode::kSimd): loads
+  /// the measured per-(entry, page-class) cost cache at `path` when it is
+  /// valid, otherwise runs the microbenchmark sweep and writes it there.
+  /// The result is attached to subsequent queries' planning. Re-running
+  /// against an existing valid cache is cheap (pure load, no measuring).
+  Status Calibrate(const std::string& path);
+  /// The attached calibration cache, or null when running on the static
+  /// Proposition 1 CostConstants.
+  std::shared_ptr<const exec::CostCalibration> calibration() const {
+    return calibration_;
+  }
 
   /// Attaches a TsFile through the LRU buffer pool (Section VI-C gradual
   /// page loading) instead of loading it whole: only page headers become
@@ -147,10 +162,16 @@ class IotDbLite {
 
  private:
   void RebuildEngine();
+  /// Loads `path` and swaps it in when valid; silently keeps the static
+  /// cost model otherwise (missing/corrupt cache is not an error here).
+  void TryAttachCalibration(const std::string& path);
 
   Mode mode_ = Mode::kSimd;
   int threads_ = 1;
   bool collect_stats_ = false;
+  /// Measured registry costs (Calibrate / Load auto-attach); null = static
+  /// CostConstants. Shared into each rebuilt engine's options.
+  std::shared_ptr<const exec::CostCalibration> calibration_;
   bool testing_fail_before_wal_truncate_ = false;
   storage::Wal::ReplayStats last_recovery_;
   storage::SeriesStore store_;

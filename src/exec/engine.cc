@@ -28,6 +28,35 @@ metrics::StageBreakdown* StagesOf(const PipelineOptions& opt,
   return (opt.collect_stats && stats != nullptr) ? &stats->stages : nullptr;
 }
 
+/// Realizes one job's registry decision: the effective options the kernels
+/// run with, plus the timing needed to score the prediction afterwards.
+/// Jobs without a decision (registry off, or nothing schedulable) run the
+/// engine's base options untouched.
+struct JobSchedule {
+  PipelineOptions options;
+  const ScheduleDecision* decision = nullptr;
+  uint64_t start_nanos = 0;
+
+  JobSchedule(const PipelineOptions& base, const PipelineSpec& spec,
+              const PipeJob& job)
+      : options(base) {
+    if (job.decision >= 0) {
+      decision = &spec.decisions[job.decision];
+      options = ApplyDecision(base, *decision);
+    }
+    if (decision != nullptr && base.collect_stats) {
+      start_nanos = metrics::NowNanos();
+    }
+  }
+
+  /// Call after the kernel, before merging `local` into the run stats.
+  void Note(const PipeJob& job, QueryStats* local) const {
+    if (decision == nullptr || start_nanos == 0) return;
+    NoteDecisionOutcome(*decision, job.end - job.begin,
+                        metrics::NowNanos() - start_nanos, local);
+  }
+};
+
 /// Pipe compilation for the file-backed path: header-only pruning decides
 /// which pages to fetch at all; surviving pages become whole-page jobs
 /// (slicing would defeat the one-fetch-per-page buffer pool discipline).
@@ -46,6 +75,7 @@ Result<PipelineSpec> BuildFilePipeline(const LogicalPlan& plan,
   if (plan.window.active) trange.lo = std::max(trange.lo, plan.window.t_min);
 
   PipelineSpec spec;
+  DecisionCache decisions(plan, options, &spec);
   for (size_t p = 0; p < refs.size(); ++p) {
     const storage::PageHeader& h = refs[p].header;
     ++spec.plan_stats.pages_total;
@@ -58,7 +88,9 @@ Result<PipelineSpec> BuildFilePipeline(const LogicalPlan& plan,
       continue;
     }
     spec.plan_stats.bytes_loaded += h.time_bytes + h.value_bytes;
-    spec.jobs.push_back({0, p, 0, h.count});
+    int decision = decisions.Decide(ClassifyPage(h));
+    decisions.Cover(decision, 1, h.count);
+    spec.jobs.push_back({0, p, 0, h.count, false, decision});
   }
   return spec;
 }
@@ -86,19 +118,24 @@ Status MaterializeInputs(const LogicalPlan& plan,
   set.job = [&](size_t i) -> Status {
     const PipeJob& job = spec.jobs[i];
     const storage::SeriesSnapshot& snap = snaps[job.input];
+    JobSchedule sched(options, spec, job);
+    Status st;
     if (job.tail) {
       if (snap.is_float) {
         return Status::NotSupported("materialize on float series tail");
       }
-      return TailMaterialize(snap.tail_times.data(), snap.tail_values.data(),
-                             snap.tail_times.size(), plan.time_filter,
-                             plan.value_filter, options, &locals[i].times,
-                             &locals[i].values, &job_stats[i]);
-    }
-    const storage::Page& page = *snap.pages[job.page_index];
-    return MaterializeSlice(page, job.begin, job.end, plan.time_filter,
-                            plan.value_filter, options, &locals[i].times,
+      st = TailMaterialize(snap.tail_times.data(), snap.tail_values.data(),
+                           snap.tail_times.size(), plan.time_filter,
+                           plan.value_filter, sched.options, &locals[i].times,
+                           &locals[i].values, &job_stats[i]);
+    } else {
+      const storage::Page& page = *snap.pages[job.page_index];
+      st = MaterializeSlice(page, job.begin, job.end, plan.time_filter,
+                            plan.value_filter, sched.options, &locals[i].times,
                             &locals[i].values, &job_stats[i]);
+    }
+    sched.Note(job, &job_stats[i]);
+    return st;
   };
   set.merge = [&]() -> Status {
     // Jobs were emitted in (input, page, slice) order; concatenation keeps
@@ -201,11 +238,13 @@ Result<QueryResult> Engine::ExecuteFile(
   PipelineJobSet set;
   set.num_jobs = jobs.size();
   set.job = [&](size_t i) -> Status {
+    const PipeJob& job = jobs[i];
+    JobSchedule sched(options_, spec.value(), job);
     QueryStats local_stats;
     Result<std::shared_ptr<const storage::Page>> page = [&] {
       ScopedStageTimer fetch(StagesOf(options_, &local_stats),
                              Stage::kPageFetch);
-      auto loaded = store->LoadPage(plan.series, jobs[i].page_index);
+      auto loaded = store->LoadPage(plan.series, job.page_index);
       if (loaded.ok()) {
         fetch.AddTuples(loaded.value()->header.count);
         fetch.AddBytes(loaded.value()->encoded_bytes());
@@ -219,12 +258,13 @@ Result<QueryResult> Engine::ExecuteFile(
       const storage::Page& pg = *page.value();
       st = plan.window.active
                ? AggregateSliceWindows(pg, 0, pg.header.count, plan.window,
-                                       plan.func, options_, &local_windows,
-                                       &local_stats)
+                                       plan.func, sched.options,
+                                       &local_windows, &local_stats)
                : AggregateSlice(pg, 0, pg.header.count, plan.time_filter,
-                                plan.value_filter, plan.func, options_,
+                                plan.value_filter, plan.func, sched.options,
                                 &local, &local_stats);
     }
+    sched.Note(job, &local_stats);
     std::lock_guard<std::mutex> lock(mu);
     for (const auto& [k, acc] : local_windows) windows[k].Merge(acc);
     total.Merge(local);
@@ -289,84 +329,66 @@ Result<QueryResult> Engine::ExecuteAggregate(
   set.num_jobs = spec.value().jobs.size();
   set.job = [&](size_t i) -> Status {
     const PipeJob& job = spec.value().jobs[i];
+    JobSchedule sched(options_, spec.value(), job);
     QueryStats local_stats;
+    std::map<int64_t, AggAccum> local_windows;
+    std::map<int64_t, FloatAggAccum> local_fwindows;
+    AggAccum local;
+    FloatAggAccum flocal;
     Status st;
     if (job.tail) {
       // Unsealed tail leg: scalar kernels over the snapshot's raw arrays.
       if (is_float && plan.window.active) {
-        std::map<int64_t, FloatAggAccum> local;
         st = TailAggregateWindowsF64(snap.tail_times.data(),
                                      snap.tail_values_f64.data(),
                                      snap.tail_times.size(), plan.window,
-                                     plan.func, options_, &local,
-                                     &local_stats);
-        std::lock_guard<std::mutex> lock(mu);
-        for (const auto& [k, acc] : local) fwindows[k].Merge(acc);
-        run_stats.Merge(local_stats);
+                                     plan.func, sched.options,
+                                     &local_fwindows, &local_stats);
       } else if (is_float) {
-        FloatAggAccum local;
         st = TailAggregateF64(snap.tail_times.data(),
                               snap.tail_values_f64.data(),
                               snap.tail_times.size(), plan.time_filter,
-                              plan.value_filter, plan.func, options_, &local,
-                              &local_stats);
-        std::lock_guard<std::mutex> lock(mu);
-        ftotal.Merge(local);
-        run_stats.Merge(local_stats);
+                              plan.value_filter, plan.func, sched.options,
+                              &flocal, &local_stats);
       } else if (plan.window.active) {
-        std::map<int64_t, AggAccum> local;
         st = TailAggregateWindows(snap.tail_times.data(),
                                   snap.tail_values.data(),
                                   snap.tail_times.size(), plan.window,
-                                  plan.func, options_, &local, &local_stats);
-        std::lock_guard<std::mutex> lock(mu);
-        for (const auto& [k, acc] : local) windows[k].Merge(acc);
-        run_stats.Merge(local_stats);
+                                  plan.func, sched.options, &local_windows,
+                                  &local_stats);
       } else {
-        AggAccum local;
         st = TailAggregate(snap.tail_times.data(), snap.tail_values.data(),
                            snap.tail_times.size(), plan.time_filter,
-                           plan.value_filter, plan.func, options_, &local,
-                           &local_stats);
-        std::lock_guard<std::mutex> lock(mu);
-        total.Merge(local);
-        run_stats.Merge(local_stats);
+                           plan.value_filter, plan.func, sched.options,
+                           &local, &local_stats);
       }
-      return st;
-    }
-    const storage::Page& page = *pages[job.page_index];
-    if (is_float && plan.window.active) {
-      std::map<int64_t, FloatAggAccum> local;
-      st = AggregateFloatSliceWindows(page, job.begin, job.end, plan.window,
-                                      plan.func, options_, &local,
-                                      &local_stats);
-      std::lock_guard<std::mutex> lock(mu);
-      for (const auto& [k, acc] : local) fwindows[k].Merge(acc);
-      run_stats.Merge(local_stats);
-    } else if (is_float) {
-      FloatAggAccum local;
-      st = AggregateFloatSlice(page, job.begin, job.end, plan.time_filter,
-                               plan.value_filter, plan.func, options_, &local,
-                               &local_stats);
-      std::lock_guard<std::mutex> lock(mu);
-      ftotal.Merge(local);
-      run_stats.Merge(local_stats);
-    } else if (plan.window.active) {
-      std::map<int64_t, AggAccum> local;
-      st = AggregateSliceWindows(page, job.begin, job.end, plan.window,
-                                 plan.func, options_, &local, &local_stats);
-      std::lock_guard<std::mutex> lock(mu);
-      for (const auto& [k, acc] : local) windows[k].Merge(acc);
-      run_stats.Merge(local_stats);
     } else {
-      AggAccum local;
-      st = AggregateSlice(page, job.begin, job.end, plan.time_filter,
-                          plan.value_filter, plan.func, options_, &local,
-                          &local_stats);
-      std::lock_guard<std::mutex> lock(mu);
-      total.Merge(local);
-      run_stats.Merge(local_stats);
+      const storage::Page& page = *pages[job.page_index];
+      if (is_float && plan.window.active) {
+        st = AggregateFloatSliceWindows(page, job.begin, job.end, plan.window,
+                                        plan.func, sched.options,
+                                        &local_fwindows, &local_stats);
+      } else if (is_float) {
+        st = AggregateFloatSlice(page, job.begin, job.end, plan.time_filter,
+                                 plan.value_filter, plan.func, sched.options,
+                                 &flocal, &local_stats);
+      } else if (plan.window.active) {
+        st = AggregateSliceWindows(page, job.begin, job.end, plan.window,
+                                   plan.func, sched.options, &local_windows,
+                                   &local_stats);
+      } else {
+        st = AggregateSlice(page, job.begin, job.end, plan.time_filter,
+                            plan.value_filter, plan.func, sched.options,
+                            &local, &local_stats);
+      }
     }
+    sched.Note(job, &local_stats);
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& [k, acc] : local_windows) windows[k].Merge(acc);
+    for (const auto& [k, acc] : local_fwindows) fwindows[k].Merge(acc);
+    total.Merge(local);
+    ftotal.Merge(flocal);
+    run_stats.Merge(local_stats);
     return st;
   };
   set.merge = [&]() -> Status {

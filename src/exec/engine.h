@@ -55,13 +55,6 @@ class Engine {
   /// annotated with the measured per-stage profile.
   Result<QueryResult> Execute(const LogicalPlan& plan, StoreHandle store) const;
 
-  [[deprecated("use Execute(plan, store) — StoreHandle accepts a "
-               "FileBackedStore*")]]
-  Result<QueryResult> ExecuteOnFile(const LogicalPlan& plan,
-                                    storage::FileBackedStore* store) const {
-    return Execute(plan, StoreHandle(store));
-  }
-
   const PipelineOptions& options() const { return options_; }
 
  private:
@@ -82,26 +75,6 @@ class Engine {
 
   PipelineOptions options_;
 };
-
-/// Historical free factories; prefer the PipelineOptions statics.
-[[deprecated("use PipelineOptions::Etsqp")]]
-inline PipelineOptions EtsqpOptions(int threads = 1) {
-  return PipelineOptions::Etsqp(threads);
-}
-[[deprecated("use PipelineOptions::EtsqpPrune")]]
-inline PipelineOptions EtsqpPruneOptions(int threads = 1) {
-  return PipelineOptions::EtsqpPrune(threads);
-}
-[[deprecated("use PipelineOptions::Serial")]]
-inline PipelineOptions SerialOptions() { return PipelineOptions::Serial(); }
-[[deprecated("use PipelineOptions::Sboost")]]
-inline PipelineOptions SboostOptions(int threads = 1) {
-  return PipelineOptions::Sboost(threads);
-}
-[[deprecated("use PipelineOptions::FastLanes")]]
-inline PipelineOptions FastLanesOptions(int threads = 1) {
-  return PipelineOptions::FastLanes(threads);
-}
 
 }  // namespace etsqp::exec
 

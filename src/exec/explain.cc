@@ -125,6 +125,15 @@ std::string RenderExplain(const LogicalPlan& plan,
           spec.jobs.size(),
           spec.plan_stats.pages_total - spec.plan_stats.pages_pruned,
           spec.plan_stats.pages_total);
+  // Registry decisions: one line per page class, the chosen SchedulerEntry
+  // with its heuristic params and the cost estimate it won on.
+  for (const ScheduleDecision& d : spec.decisions) {
+    Appendf(&out, "    sched %s: entry=%s [%s] est=%.2fns/t (%s) pages=%" PRIu64
+            " tuples=%" PRIu64 "\n",
+            d.class_key.c_str(), d.entry->name(), d.params.ToString().c_str(),
+            d.predicted_ns_per_tuple, d.calibrated ? "calibrated" : "model",
+            d.pages, d.tuples);
+  }
   AppendFilterLine(&out, "    ", plan);
 
   // Scan leaves (one per input series).
@@ -164,6 +173,28 @@ std::string RenderStats(const ExecStats& stats) {
             stats.tail_tuples, stats.tail_tuples_scanned);
   }
   Appendf(&out, "bytes loaded: %" PRIu64 "\n", stats.bytes_loaded);
+  if (!stats.scheduler.empty()) {
+    // Predicted-vs-measured per page class: how well the cost model (or the
+    // calibration cache) anticipated the kernels it scheduled.
+    Appendf(&out, "scheduler: mispredictions=%" PRIu64 "\n",
+            stats.mispredictions);
+    for (const auto& [key, s] : stats.scheduler) {
+      double pred =
+          s.tuples > 0 ? s.predicted_nanos / static_cast<double>(s.tuples) : 0;
+      double meas =
+          s.tuples > 0
+              ? static_cast<double>(s.measured_nanos) / static_cast<double>(s.tuples)
+              : 0;
+      Appendf(&out, "  %s: entry=%s [%s]%s pred=%.2fns/t meas=%.2fns/t",
+              key.c_str(), s.entry.c_str(), s.params.c_str(),
+              s.calibrated ? " (calibrated)" : "", pred, meas);
+      if (pred > 0) {
+        Appendf(&out, " delta=%+.0f%%", (meas - pred) / pred * 100.0);
+      }
+      Appendf(&out, " jobs=%" PRIu64 " tuples=%" PRIu64 "\n", s.jobs,
+              s.tuples);
+    }
+  }
   if (stats.stages.empty()) return out;
 
   Appendf(&out, "%-11s %-11s %10s %12s %14s\n", "stage", "time", "calls",

@@ -61,6 +61,35 @@ std::string ExecStats::ToJson() const {
   AppendField(&out, "parks", pool.parks, &pfirst);
   AppendField(&out, "park_nanos", pool.park_nanos, &pfirst);
   out += "}";
+  if (!scheduler.empty()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", \"mispredictions\": %" PRIu64,
+                  mispredictions);
+    out += buf;
+    out += ", \"scheduler\": {";
+    bool cfirst = true;
+    for (const auto& [key, s] : scheduler) {
+      if (!cfirst) out += ", ";
+      cfirst = false;
+      out += '"';
+      out += key;
+      out += "\": {\"entry\": \"";
+      out += s.entry;
+      out += "\", \"params\": \"";
+      out += s.params;
+      out += "\", \"calibrated\": ";
+      out += s.calibrated ? "true" : "false";
+      bool sfirst = false;
+      AppendField(&out, "jobs", s.jobs, &sfirst);
+      AppendField(&out, "tuples", s.tuples, &sfirst);
+      AppendField(&out, "predicted_nanos",
+                  static_cast<uint64_t>(s.predicted_nanos), &sfirst);
+      AppendField(&out, "measured_nanos", s.measured_nanos, &sfirst);
+      AppendField(&out, "mispredictions", s.mispredictions, &sfirst);
+      out += "}";
+    }
+    out += "}";
+  }
   out += ", \"stages\": {";
   for (int i = 0; i < metrics::kNumStages; ++i) {
     const metrics::StageStats& s = stages.stages[i];

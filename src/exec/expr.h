@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,35 @@ struct LogicalPlan {
   }
 };
 
+/// Per-page-class scheduler outcome (populated only under collect_stats
+/// when the registry planned the query): which SchedulerEntry ran the
+/// class's jobs, the cost the registry predicted for them, the cost the
+/// jobs actually measured, and how many jobs fell outside the prediction's
+/// tolerance band (mispredictions).
+struct SchedDecisionStats {
+  std::string entry;   // SchedulerEntry::name() of the chosen entry
+  std::string params;  // rendered HeuristicParams
+  bool calibrated = false;  // cost came from the calibration cache
+  uint64_t jobs = 0;
+  uint64_t tuples = 0;
+  double predicted_nanos = 0;
+  uint64_t measured_nanos = 0;
+  uint64_t mispredictions = 0;
+
+  void Merge(const SchedDecisionStats& o) {
+    if (entry.empty()) {
+      entry = o.entry;
+      params = o.params;
+      calibrated = o.calibrated;
+    }
+    jobs += o.jobs;
+    tuples += o.tuples;
+    predicted_nanos += o.predicted_nanos;
+    measured_nanos += o.measured_nanos;
+    mispredictions += o.mispredictions;
+  }
+};
+
 /// Execution statistics reported with every query result. The flat counters
 /// are what the benches derive throughput (tuples of loaded pages per
 /// second, counting pruned slices — Section VII-B) and I/O volume from; they
@@ -139,6 +169,12 @@ struct ExecStats {
   metrics::PoolStats pool;
   int pool_workers = 0;
 
+  // Populated only under collect_stats for registry-planned queries: the
+  // per-page-class decision outcomes (keyed by PageClass::Key()) and the
+  // query-total misprediction counter.
+  std::map<std::string, SchedDecisionStats> scheduler;
+  uint64_t mispredictions = 0;
+
   void Merge(const ExecStats& o) {
     pages_total += o.pages_total;
     pages_pruned += o.pages_pruned;
@@ -154,6 +190,8 @@ struct ExecStats {
     if (o.threads > threads) threads = o.threads;
     pool.Merge(o.pool);
     if (o.pool_workers > pool_workers) pool_workers = o.pool_workers;
+    for (const auto& [key, s] : o.scheduler) scheduler[key].Merge(s);
+    mispredictions += o.mispredictions;
   }
 
   /// One-line-per-field JSON object (counters, and — when collected — the

@@ -1,8 +1,38 @@
 #include "exec/pipe_builder.h"
 
 #include <algorithm>
+#include <map>
+#include <string>
 
 namespace etsqp::exec {
+
+DecisionCache::DecisionCache(const LogicalPlan& plan,
+                             const PipelineOptions& options,
+                             PipelineSpec* spec)
+    : enabled_(options.use_registry),
+      ctx_(MakePlanContext(plan, options)),
+      calibration_(options.calibration.get()),
+      spec_(spec) {}
+
+int DecisionCache::Decide(const PageClass& cls) {
+  if (!enabled_) return -1;
+  std::string key = cls.Key();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  ScheduleDecision d = SchedulerRegistry::Global().Propose(
+      cls, ctx_, calibration_, CostConstants{});
+  int idx =
+      d.entry == nullptr ? -1 : static_cast<int>(spec_->decisions.size());
+  if (idx >= 0) spec_->decisions.push_back(std::move(d));
+  index_.emplace(std::move(key), idx);
+  return idx;
+}
+
+void DecisionCache::Cover(int idx, uint64_t pages, uint64_t tuples) {
+  if (idx < 0) return;
+  spec_->decisions[idx].pages += pages;
+  spec_->decisions[idx].tuples += tuples;
+}
 
 namespace {
 
@@ -87,6 +117,7 @@ Result<PipelineSpec> BuildPipeline(
     const PipelineOptions& options) {
   PipelineSpec spec;
   TimeRange trange = EffectiveTimeRange(plan);
+  DecisionCache decisions(plan, options, &spec);
 
   for (size_t in = 0; in < inputs.size(); ++in) {
     const storage::SeriesSnapshot& snap = inputs[in];
@@ -94,13 +125,20 @@ Result<PipelineSpec> BuildPipeline(
     std::vector<size_t> page_counts;
     CollectPages(snap, trange, plan.value_filter, options.prune,
                  &page_indices, &page_counts, &spec.plan_stats);
+    // Registry lookup per surviving page (memoized per page class).
+    std::vector<int> page_decisions(page_indices.size(), -1);
+    for (size_t p = 0; p < page_indices.size(); ++p) {
+      const storage::PageHeader& h = snap.pages[page_indices[p]]->header;
+      page_decisions[p] = decisions.Decide(ClassifyPage(h));
+      decisions.Cover(page_decisions[p], 1, h.count);
+    }
     // Lines 5-6 of Algorithm 2: slice pages when cores outnumber them.
     std::vector<PageSlice> slices =
         PlanSlices(page_counts, options.threads, 1024);
     for (const PageSlice& s : slices) {
       spec.jobs.push_back(PipeJob{static_cast<int>(in),
-                                  page_indices[s.page_index], s.begin,
-                                  s.end});
+                                  page_indices[s.page_index], s.begin, s.end,
+                                  false, page_decisions[s.page_index]});
     }
     // The unsealed tail rides behind the sealed pages of its input: one
     // scalar job, emitted last so concatenation keeps time order. Tail
@@ -111,8 +149,11 @@ Result<PipelineSpec> BuildPipeline(
       spec.plan_stats.tail_tuples += snap.tail_times.size();
       if (TailSurvivesPruning(snap, trange, plan.value_filter,
                               options.prune)) {
+        int tail_decision = decisions.Decide(ClassifyTail(snap));
+        decisions.Cover(tail_decision, 0, snap.tail_times.size());
         spec.jobs.push_back(PipeJob{static_cast<int>(in), 0, 0,
-                                    snap.tail_times.size(), true});
+                                    snap.tail_times.size(), true,
+                                    tail_decision});
       }
     }
   }

@@ -8,6 +8,7 @@
 #include "exec/expr.h"
 #include "exec/pipeline.h"
 #include "exec/scheduler.h"
+#include "exec/scheduler_registry.h"
 #include "storage/series_store.h"
 
 namespace etsqp::exec {
@@ -31,13 +32,42 @@ struct PipeJob {
   size_t begin = 0;
   size_t end = 0;
   bool tail = false;  // job covers snapshot.tail_* instead of a page
+  /// Index into PipelineSpec::decisions when the registry planned this job
+  /// (options.use_registry); -1 = run the options' pinned strategy.
+  int decision = -1;
 };
 
-/// The compiled pipeline: jobs ready for the job scheduler, plus counters
-/// for pages pruned at planning time.
+/// The compiled pipeline: jobs ready for the job scheduler, the scheduler
+/// decisions the jobs reference (one per distinct page class), plus
+/// counters for pages pruned at planning time.
 struct PipelineSpec {
   std::vector<PipeJob> jobs;
+  std::vector<ScheduleDecision> decisions;
   QueryStats plan_stats;  // pages_total / pages_pruned / tuples_in_pages
+};
+
+/// Plan-time registry lookups, one per distinct page class: classes are
+/// memoized by key so a thousand-page series with one codec and width costs
+/// a single Propose() call. A no-op (every Decide returns -1) when the
+/// options don't ask for registry planning.
+class DecisionCache {
+ public:
+  DecisionCache(const LogicalPlan& plan, const PipelineOptions& options,
+                PipelineSpec* spec);
+
+  /// Decision index for `cls` (memoized); -1 when the registry is off or
+  /// nothing can schedule the class.
+  int Decide(const PageClass& cls);
+
+  /// EXPLAIN bookkeeping: pages/tuples covered per decision.
+  void Cover(int idx, uint64_t pages, uint64_t tuples);
+
+ private:
+  bool enabled_;
+  PlanContext ctx_;
+  const CostCalibration* calibration_;
+  PipelineSpec* spec_;
+  std::map<std::string, int> index_;
 };
 
 /// Captures consistent snapshots of the plan's input series (left, plus

@@ -560,6 +560,9 @@ PipelineOptions PipelineOptions::Etsqp(int threads) {
   o.prune = false;
   o.fusion = true;
   o.threads = threads;
+  // The integrated engine plans per page class through the registry; the
+  // forced-strategy baselines below (and WithStrategy) stay pinned.
+  o.use_registry = true;
   return o;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 
 #include "common/status.h"
 #include "exec/column_decoder.h"
@@ -11,6 +12,8 @@
 #include "storage/page.h"
 
 namespace etsqp::exec {
+
+class CostCalibration;  // exec/scheduler_registry.h
 
 /// Per-query execution switches: the evaluation's system variants map to
 /// these (ETSQP = {kEtsqp, prune off, fusion on}; ETSQP-prune adds prune;
@@ -29,6 +32,15 @@ struct PipelineOptions {
   /// Collect the per-stage ExecStats breakdown (timings, tuples, bytes).
   /// Off by default: instrumented code then skips every clock read.
   bool collect_stats = false;
+  /// Plan with the SchedulerRegistry: Pipe classifies every page and asks
+  /// the registry for the cheapest feasible SchedulerEntry per page class
+  /// instead of running `strategy` uniformly. On for the Etsqp/EtsqpPrune
+  /// baselines; WithStrategy() turns it off (an explicit strategy is a
+  /// pin, not a preference).
+  bool use_registry = false;
+  /// Measured per-(entry, page-class) costs for registry proposals; null =
+  /// the static Proposition 1 CostConstants fallback.
+  std::shared_ptr<const CostCalibration> calibration;
 
   /// Canonical option sets for the evaluation baselines (Section VII-A).
   static PipelineOptions Etsqp(int threads = 1);
@@ -39,6 +51,16 @@ struct PipelineOptions {
 
   PipelineOptions& WithStrategy(DecodeStrategy s) {
     strategy = s;
+    use_registry = false;
+    return *this;
+  }
+  PipelineOptions& WithRegistry(bool on) {
+    use_registry = on;
+    return *this;
+  }
+  PipelineOptions& WithCalibration(
+      std::shared_ptr<const CostCalibration> cal) {
+    calibration = std::move(cal);
     return *this;
   }
   PipelineOptions& WithPrune(bool on) {

@@ -1,41 +1,10 @@
 #include "exec/scheduler.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/bit_util.h"
-#include "exec/thread_pool.h"
 
 namespace etsqp::exec {
-
-void RunJobs(size_t num_jobs, int threads,
-             const std::function<void(size_t)>& fn) {
-  if (num_jobs == 0) return;
-  size_t workers =
-      std::min<size_t>(static_cast<size_t>(std::max(threads, 1)), num_jobs);
-  if (workers <= 1) {
-    for (size_t i = 0; i < num_jobs; ++i) fn(i);
-    return;
-  }
-  std::atomic<size_t> cursor{0};
-  auto drain = [&] {
-    while (true) {
-      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= num_jobs) break;
-      fn(i);
-    }
-  };
-  // Runner tasks go to the shared persistent pool (no per-call thread
-  // construction); the caller participates as one runner, exactly like the
-  // retired fork-join version. A job that throws on a worker no longer
-  // reaches std::terminate: Wait() rethrows the first exception here.
-  ThreadPool& pool = ThreadPool::Global();
-  pool.Reserve(static_cast<int>(workers) - 1);
-  TaskGroup group(&pool);
-  for (size_t w = 1; w < workers; ++w) group.Submit(drain);
-  drain();
-  group.Wait();
-}
 
 std::vector<PageSlice> PlanSlices(const std::vector<size_t>& page_counts,
                                   int threads, size_t block_size) {

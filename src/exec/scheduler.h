@@ -2,8 +2,6 @@
 #define ETSQP_EXEC_SCHEDULER_H_
 
 #include <cstddef>
-#include <cstdint>
-#include <functional>
 #include <vector>
 
 namespace etsqp::exec {
@@ -11,20 +9,10 @@ namespace etsqp::exec {
 /// Core-level parallelism (paper Section III-C): pipeline jobs run on up to
 /// `threads` runners; each runner pulls the next job from a shared atomic
 /// cursor, so cores never idle while jobs remain (the scheduling policy the
-/// Figure 11 micro-benchmark credits for ETSQP's thread scaling).
-///
-/// Legacy fork-join shim. Runners are tasks on the shared persistent
-/// ThreadPool (exec/thread_pool.h) — no per-call std::thread construction —
-/// and a job that throws has the first exception rethrown here instead of
-/// the old std::terminate. New code should compile work into a
-/// PipelineJobSet and call RunPipelineJobs (exec/pipeline_job.h), which
-/// adds Status propagation, the merge step, and pool stats capture; this
-/// entry point remains for callers that predate the job framework.
-///
-/// Runs fn(job_index) for every index in [0, num_jobs) using up to `threads`
-/// runners (1 = inline on the caller). Blocks until all jobs finish.
-void RunJobs(size_t num_jobs, int threads,
-             const std::function<void(size_t)>& fn);
+/// Figure 11 micro-benchmark credits for ETSQP's thread scaling). Work
+/// reaches threads through PipelineJobSet / RunPipelineJobs
+/// (exec/pipeline_job.h); this header holds the slice planner that decides
+/// what the jobs are.
 
 /// A unit of decoding work: a page, or a slice of one. `begin/end` are value
 /// positions within the page (block-aligned slices: TS2DIFF blocks decode

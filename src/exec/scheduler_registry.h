@@ -1,0 +1,191 @@
+#ifndef ETSQP_EXEC_SCHEDULER_REGISTRY_H_
+#define ETSQP_EXEC_SCHEDULER_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/cost_model.h"
+#include "exec/expr.h"
+#include "exec/pipeline.h"
+#include "storage/page.h"
+#include "storage/series_store.h"
+
+namespace etsqp::exec {
+
+/// Kernel-strategy scheduler registry: every decoding/aggregation strategy
+/// the engine knows (transposed AVX-512/AVX2 unpack, fused aggregation,
+/// SBoost's linear layout, FastLanes FLMM1024, the scalar pipelines) is a
+/// registered SchedulerEntry, and Pipe asks the registry which entry to run
+/// per *page class* at plan time instead of switching on a hand-set enum.
+///
+/// Costs come from two sources. The fallback is the paper's Proposition 1
+/// instruction-count model (exec/cost_model.h) — cheap, always available,
+/// but known to diverge from real decode throughput (Lemire & Boytsov). The
+/// preferred source is a CostCalibration: a first-run microbenchmark sweep
+/// whose measured ns/tuple per (entry, page class) is cached to disk next to
+/// the store (versioned + CRC-framed like WAL records) and loaded on open.
+
+/// Plan-time bucket of one page (or of the unsealed tail): everything the
+/// registry needs to choose a kernel without touching the encoded payload.
+/// The width bucket is derived from the header as average encoded bits per
+/// value (value_bytes * 8 / count, block framing included) rounded up to a
+/// fixed grid — the packing width itself is not in the header, but average
+/// encoded density is what drives decode cost.
+struct PageClass {
+  enc::ColumnEncoding value_encoding = enc::ColumnEncoding::kTs2Diff;
+  enc::ColumnEncoding time_encoding = enc::ColumnEncoding::kTs2Diff;
+  int width_bucket = 0;  // 0 for float columns (XOR streams have no width)
+  bool sealed = true;    // false = unsealed in-memory tail
+  bool is_float = false;
+
+  /// Stable cache/display key, e.g. "TS2DIFF/w8", "GORILLA_VALUE/f64",
+  /// "tail", "tail/f64".
+  std::string Key() const;
+};
+
+/// Header-only page classification (same function at calibration time and
+/// at plan time, so cache keys always line up with planner buckets).
+PageClass ClassifyPage(const storage::PageHeader& header);
+PageClass ClassifyTail(const storage::SeriesSnapshot& snap);
+
+/// The plan-shape facts entries gate on.
+struct PlanContext {
+  bool aggregate = true;  // kAggregate (incl. sliding windows); else decode
+  AggFunc func = AggFunc::kSum;
+  bool value_filter = false;
+  bool windowed = false;
+  bool fusion = true;  // options.fusion (operator fusion permitted)
+  bool prune = false;
+  int threads = 1;
+};
+
+PlanContext MakePlanContext(const LogicalPlan& plan,
+                            const PipelineOptions& options);
+
+/// The heuristic parameters a chosen entry runs with. `n_v` is the
+/// Proposition 1 default for the class's width bucket — it parameterizes the
+/// cost prediction and EXPLAIN output; the transposed kernels still apply
+/// the per-block Prop 1 default at decode time (blocks within a page can
+/// pack narrower than the page average), unless the user pinned n_v.
+struct HeuristicParams {
+  DecodeStrategy strategy = DecodeStrategy::kEtsqp;
+  int n_v = 0;
+  bool fusion = false;      // fused aggregation (Section IV) engaged
+  bool transposed = false;  // transposed layout vs linear/natural order
+
+  std::string ToString() const;  // "n_v=6 transposed fused"
+};
+
+/// One registered kernel strategy (nvfuser-style scheduler entry): a stable
+/// name, a feasibility predicate over (page class, plan shape), the
+/// heuristic params it would run with, and a static cost prediction from
+/// the Proposition 1 constants. Entries are stateless and process-global.
+class SchedulerEntry {
+ public:
+  virtual ~SchedulerEntry() = default;
+
+  virtual const char* name() const = 0;
+  /// Tie-break when predicted costs are equal: higher priority wins.
+  virtual int priority() const = 0;
+  virtual bool CanSchedule(const PageClass& cls,
+                           const PlanContext& ctx) const = 0;
+  virtual HeuristicParams Params(const PageClass& cls,
+                                 const PlanContext& ctx) const = 0;
+  /// Predicted cost in ns per tuple from the static instruction-count model
+  /// (abstract clock units read as ns at a 1 GHz reference — the point of
+  /// calibration is that this is only a rough ordering).
+  virtual double PredictCost(const PageClass& cls, const PlanContext& ctx,
+                             const CostConstants& c) const = 0;
+};
+
+/// The registry's answer for one page class: which entry, its params, and
+/// the cost figure that won the comparison.
+struct ScheduleDecision {
+  std::string class_key;
+  const SchedulerEntry* entry = nullptr;
+  HeuristicParams params;
+  double predicted_ns_per_tuple = 0;
+  bool calibrated = false;  // cost came from the calibration cache
+  // Planner bookkeeping for EXPLAIN (pages/tuples this decision covers).
+  uint64_t pages = 0;
+  uint64_t tuples = 0;
+};
+
+/// Measured costs per (entry name, page-class key): the self-tuning half of
+/// the cost model. Persisted next to the store as a versioned, CRC-framed
+/// file (same discipline as WAL records); a corrupt or version-skewed file
+/// fails to load with Corruption and callers fall back to CostConstants.
+class CostCalibration {
+ public:
+  bool Lookup(const std::string& entry, const std::string& class_key,
+              double* ns_per_tuple) const;
+  void Set(const std::string& entry, const std::string& class_key,
+           double ns_per_tuple);
+  size_t size() const { return costs_.size(); }
+  const std::map<std::string, double>& costs() const { return costs_; }
+
+  /// File layout: "ETSQPCAL" magic | u32 version BE | u32 count BE |
+  /// count x (u16 key_len BE | key | u64 f64-bits BE) | u32 masked CRC32C
+  /// of the record region BE.
+  Status SaveToFile(const std::string& path) const;
+  static Result<CostCalibration> LoadFromFile(const std::string& path);
+
+  /// First-run microbenchmark sweep: builds synthetic pages across the
+  /// width buckets and codecs the engine schedules, times every entry that
+  /// CanSchedule each class, and records best-of ns/tuple. Takes tens of
+  /// milliseconds; runs once per store, then lives in the cache file.
+  static CostCalibration Measure();
+
+  /// Load `path` if it verifies, else Measure() and save to `path`.
+  /// `measured` (optional) reports whether a sweep ran.
+  static Result<std::shared_ptr<const CostCalibration>> LoadOrMeasure(
+      const std::string& path, bool* measured = nullptr);
+
+ private:
+  static std::string MapKey(const std::string& entry,
+                            const std::string& class_key) {
+    return entry + "|" + class_key;
+  }
+  std::map<std::string, double> costs_;
+};
+
+/// Process-global entry catalog. Propose() returns the cheapest feasible
+/// entry for a page class: per candidate, the calibrated cost if the cache
+/// holds one, else the static prediction; cost ties break by priority.
+class SchedulerRegistry {
+ public:
+  static const SchedulerRegistry& Global();
+
+  const std::vector<std::unique_ptr<SchedulerEntry>>& entries() const {
+    return entries_;
+  }
+  const SchedulerEntry* Find(const std::string& name) const;
+
+  ScheduleDecision Propose(const PageClass& cls, const PlanContext& ctx,
+                           const CostCalibration* calibration,
+                           const CostConstants& constants) const;
+
+ private:
+  SchedulerRegistry();
+  std::vector<std::unique_ptr<SchedulerEntry>> entries_;
+};
+
+/// Per-job options realizing a decision: strategy and fusion come from the
+/// chosen entry's params; a user-pinned n_v (> 0) is honored, otherwise the
+/// kernels keep their per-block Prop 1 default.
+PipelineOptions ApplyDecision(const PipelineOptions& base,
+                              const ScheduleDecision& d);
+
+/// Records one finished job against its decision into stats->scheduler
+/// (predicted vs measured nanos, misprediction check). A misprediction is a
+/// job whose measured cost falls outside [1/2, 2x] of the prediction, with
+/// a minimum-tuples floor so noise-dominated micro-jobs don't count.
+void NoteDecisionOutcome(const ScheduleDecision& d, uint64_t tuples,
+                         uint64_t measured_nanos, ExecStats* stats);
+
+}  // namespace etsqp::exec
+
+#endif  // ETSQP_EXEC_SCHEDULER_REGISTRY_H_

@@ -19,7 +19,7 @@ class TaskGroup;
 
 /// Process-wide persistent worker pool (paper Section III-C discipline:
 /// decode kernels hit memory/issue limits only when orchestration overhead
-/// is off the critical path). Replaces the fork-join RunJobs scheduler that
+/// is off the critical path). Replaces the retired fork-join scheduler that
 /// spawned and joined fresh std::threads several times per query.
 ///
 /// Structure:
@@ -35,8 +35,8 @@ class TaskGroup;
 ///    (a job submitting jobs and waiting) composes without deadlock even on
 ///    a single-worker pool.
 ///  - A task that throws has its exception captured into its TaskGroup and
-///    rethrown from Wait() on the caller thread (the fork-join RunJobs
-///    previously hit std::terminate).
+///    rethrown from Wait() on the caller thread (the retired fork-join
+///    scheduler previously hit std::terminate).
 ///  - Counters (tasks executed, steals, parks, parked nanoseconds) feed
 ///    EXPLAIN ANALYZE's pool line; see metrics::PoolStats.
 ///
@@ -127,7 +127,7 @@ class ThreadPool {
 };
 
 /// A batch of tasks submitted to a ThreadPool and waited on as a unit — the
-/// blocking-wait handle every pipeline run and the RunJobs shim use.
+/// blocking-wait handle every pipeline run uses (via RunPipelineJobs).
 ///
 ///   TaskGroup group;                       // uses ThreadPool::Global()
 ///   for (...) group.Submit([&] { ... });

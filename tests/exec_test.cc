@@ -9,6 +9,7 @@
 #include "exec/cost_model.h"
 #include "exec/fusion.h"
 #include "exec/pipeline.h"
+#include "exec/pipeline_job.h"
 #include "exec/pruning.h"
 #include "exec/scheduler.h"
 #include "storage/page_builder.h"
@@ -391,15 +392,28 @@ TEST(PruningTest, DeltaRleBoundsContainAllValues) {
 
 // ----------------------------------------------------------- Scheduler
 
-TEST(SchedulerTest, RunJobsExecutesAll) {
+TEST(SchedulerTest, PipelineJobsExecuteAll) {
   std::vector<int> hits(100, 0);
-  RunJobs(100, 4, [&](size_t i) { hits[i]++; });
+  PipelineJobSet set;
+  set.num_jobs = 100;
+  set.job = [&](size_t i) -> Status {
+    hits[i]++;
+    return Status::Ok();
+  };
+  ASSERT_TRUE(
+      RunPipelineJobs(set, PipelineOptions::Etsqp(4), nullptr).ok());
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
-TEST(SchedulerTest, RunJobsSingleThread) {
+TEST(SchedulerTest, PipelineJobsSingleThreadRunInOrder) {
   std::vector<size_t> order;
-  RunJobs(10, 1, [&](size_t i) { order.push_back(i); });
+  PipelineJobSet set;
+  set.num_jobs = 10;
+  set.job = [&](size_t i) -> Status {
+    order.push_back(i);
+    return Status::Ok();
+  };
+  ASSERT_TRUE(RunPipelineJobs(set, PipelineOptions::Serial(), nullptr).ok());
   for (size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
@@ -464,6 +478,50 @@ TEST(CostModelTest, OptimalNvRealFormula) {
               1e-9);
   EXPECT_GT(nv, 1.0);
   EXPECT_LT(nv, 16.0);
+}
+
+TEST(CostModelTest, OptimalNvEdgeWidths) {
+  // Width 1: narrowest packing — the feasible-layout clamp tops out at the
+  // kernels' 16-vector maximum.
+  EXPECT_EQ(OptimalNv(1), 16);
+  // Out-of-domain widths (non-positive, or past the 25-bit transposed
+  // limit) take the scalar path: one vector.
+  EXPECT_EQ(OptimalNv(0), 1);
+  EXPECT_EQ(OptimalNv(-3), 1);
+  EXPECT_EQ(OptimalNv(26), 1);
+  EXPECT_EQ(OptimalNv(32), 1);
+  EXPECT_EQ(OptimalNv(64), 1);
+}
+
+TEST(CostModelTest, OptimalNvRealEdgeWidths) {
+  CostConstants c;
+  // w == w': no packing left; the optimum is the pure instruction ratio.
+  EXPECT_NEAR(OptimalNvReal(32, 32, c),
+              std::sqrt((c.t_prefix - c.t_add) / c.t_unpack), 1e-9);
+  // n_v* scales with sqrt(w'): the 64-bit unpack target wants sqrt(2) more
+  // vectors than the 32-bit one at any width.
+  EXPECT_NEAR(OptimalNvReal(8, 64, c),
+              std::sqrt(2.0) * OptimalNvReal(8, 32, c), 1e-9);
+  // Degenerate unpacked_width < width (packing wider than the target lane):
+  // the real optimum falls below one vector — the caller must clamp.
+  EXPECT_LT(OptimalNvReal(64, 8, c), 1.0);
+  EXPECT_GT(OptimalNvReal(64, 8, c), 0.0);
+}
+
+TEST(CostModelTest, AverageDecodeTimeFiniteAtDegenerateWidths) {
+  CostConstants c;
+  // Width 1 at the clamped optimum decodes far below the serial cost.
+  double w1 = AverageDecodeTime(1, 32, OptimalNv(1), c);
+  EXPECT_GT(w1, 0.0);
+  EXPECT_LT(w1, 2.0);
+  // unpacked_width < width: infeasible for the kernels, but the model must
+  // stay finite and positive (the registry may evaluate it when bucketing).
+  double degenerate = AverageDecodeTime(32, 16, 2, c);
+  EXPECT_TRUE(std::isfinite(degenerate));
+  EXPECT_GT(degenerate, 0.0);
+  // At fixed unpacked width the per-tuple cost is monotone in packing
+  // width: more loads per round for the same decoded count.
+  EXPECT_GT(AverageDecodeTime(32, 32, 4, c), AverageDecodeTime(8, 32, 4, c));
 }
 
 TEST(CostModelTest, SpeedupScalesWithThreads) {

@@ -2,7 +2,7 @@
 // PipelineJob framework plumbing visible through Engine, and the concurrency
 // contract of db::IotDbLite. Covers the acceptance points of the executor
 // refactor: pool reuse across queries, nested submission, exception
-// propagation (TaskGroup and the legacy RunJobs shim), deterministic
+// propagation (TaskGroup and RunPipelineJobs), deterministic
 // shutdown/re-init, and concurrent query execution over one store.
 
 #include <gtest/gtest.h>
@@ -15,6 +15,7 @@
 
 #include "db/iotdb_lite.h"
 #include "exec/engine.h"
+#include "exec/pipeline_job.h"
 #include "exec/scheduler.h"
 #include "exec/thread_pool.h"
 #include "storage/series_store.h"
@@ -135,30 +136,36 @@ TEST(TaskGroupTest, ErrorDoesNotPoisonNextBatch) {
   EXPECT_EQ(hits.load(), 1);
 }
 
-// ----------------------------------------------------------- RunJobs shim
+// -------------------------------------------------- PipelineJob framework
 
-TEST(SchedulerShimTest, RunJobsPropagatesExceptionMultiThread) {
+TEST(PipelineJobsTest, ThrowingJobPropagatesExceptionMultiThread) {
   std::atomic<int> hits{0};
-  EXPECT_THROW(RunJobs(16, 4,
-                       [&](size_t i) {
-                         hits.fetch_add(1);
-                         if (i == 3) throw std::runtime_error("job 3");
-                       }),
+  PipelineJobSet set;
+  set.num_jobs = 16;
+  set.job = [&](size_t i) -> Status {
+    hits.fetch_add(1);
+    if (i == 3) throw std::runtime_error("job 3");
+    return Status::Ok();
+  };
+  EXPECT_THROW(RunPipelineJobs(set, PipelineOptions::Etsqp(4), nullptr),
                std::runtime_error);
   EXPECT_EQ(hits.load(), 16);  // remaining jobs still drained
 }
 
-TEST(SchedulerShimTest, RunJobsPropagatesExceptionInline) {
-  EXPECT_THROW(RunJobs(4, 1,
-                       [](size_t i) {
-                         if (i == 2) throw std::runtime_error("job 2");
-                       }),
+TEST(PipelineJobsTest, ThrowingJobPropagatesExceptionInline) {
+  PipelineJobSet set;
+  set.num_jobs = 4;
+  set.job = [](size_t i) -> Status {
+    if (i == 2) throw std::runtime_error("job 2");
+    return Status::Ok();
+  };
+  EXPECT_THROW(RunPipelineJobs(set, PipelineOptions::Serial(), nullptr),
                std::runtime_error);
 }
 
 // ------------------------------------------------- PlanSlices regression
 
-TEST(SchedulerShimTest, PlanSlicesFanOutMatchesPaperBoundPagesUnderCores) {
+TEST(SchedulerTest, PlanSlicesFanOutMatchesPaperBoundPagesUnderCores) {
   // Fewer pages than cores: each page splits into at most
   // ceil(p_c / #Pages) block-aligned slices (Section III-C). With 2 pages
   // of 8192 values, 8 cores, 1024-value blocks: ceil(8/2) = 4 slices per

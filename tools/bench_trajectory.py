@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Append one benchmark run to the repo's performance trajectory.
+
+The bench binaries export machine-readable results when ETSQP_BENCH_JSON
+names a file (one JSON object per line — see bench/bench_util.h). This
+script runs a bench binary with that export enabled, stamps the collected
+lines with the git revision, a label, and the scale factor, and appends the
+run as a single JSON line to the trajectory file (BENCH_baseline.json at
+the repo root by default). Each trajectory line is one run; diffing runs
+across revisions is a `python -m json.tool` + jq exercise.
+
+Examples:
+    tools/bench_trajectory.py build/bench/bench_fig12_micro --scale 0.05
+    tools/bench_trajectory.py build/bench/bench_fig10_queries \
+        --label pre-registry --out BENCH_baseline.json
+
+Stdlib only: no third-party dependencies.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def git_rev(repo_root):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root, capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def run_bench(binary, scale, json_path, timeout):
+    env = dict(os.environ)
+    env["ETSQP_BENCH_JSON"] = json_path
+    if scale is not None:
+        env["ETSQP_BENCH_SCALE"] = str(scale)
+    proc = subprocess.run([binary], env=env, capture_output=True, text=True,
+                          timeout=timeout)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"bench exited with {proc.returncode}")
+    return proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Run a bench binary and append its JSON export to the "
+                    "performance trajectory file.")
+    parser.add_argument("binary", help="bench executable to run")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="ETSQP_BENCH_SCALE for the run (default: unset)")
+    parser.add_argument("--label", default="",
+                        help="free-form tag stored with the run")
+    parser.add_argument("--out", default=None,
+                        help="trajectory file to append to "
+                             "(default: <repo root>/BENCH_baseline.json)")
+    parser.add_argument("--timeout", type=float, default=1800,
+                        help="bench run timeout in seconds")
+    args = parser.parse_args()
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    out_path = pathlib.Path(args.out) if args.out else (
+        repo_root / "BENCH_baseline.json")
+
+    fd, tmp_json = tempfile.mkstemp(prefix="etsqp_bench_", suffix=".jsonl")
+    os.close(fd)
+    try:
+        run_bench(args.binary, args.scale, tmp_json, args.timeout)
+        results = []
+        with open(tmp_json) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    results.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    raise SystemExit(f"bad JSON line from bench: {e}: {line}")
+    finally:
+        os.unlink(tmp_json)
+
+    if not results:
+        raise SystemExit(
+            "bench produced no JSON output — does it call bench::ExportJson "
+            "or export its own ETSQP_BENCH_JSON lines?")
+
+    record = {
+        "bench": os.path.basename(args.binary),
+        "label": args.label,
+        "git_rev": git_rev(repo_root),
+        "date": datetime.datetime.now(datetime.timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "scale": args.scale,
+        "results": results,
+    }
+    with open(out_path, "a") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"appended {len(results)} results from {record['bench']} "
+          f"(rev {record['git_rev']}) to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

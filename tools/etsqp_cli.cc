@@ -16,6 +16,8 @@
 //                        that path, attach it, seal pages in the background
 //   .ingest              ingest/WAL/seal counters
 //   .checkpoint <file>   flush + save a TsFile + truncate the WAL
+//   .calibrate <file>    load (or measure + save) the scheduler-registry
+//                        cost calibration cache and attach it
 //   SELECT ...;          any Table III dialect statement
 //   EXPLAIN [ANALYZE] SELECT ...;   show the compiled Pipe plan
 //   .quit
@@ -26,6 +28,7 @@
 
 #include "db/iotdb_lite.h"
 #include "exec/explain.h"
+#include "exec/scheduler_registry.h"
 #include "exec/thread_pool.h"
 #include "workload/generators.h"
 
@@ -190,6 +193,23 @@ int main(int argc, char** argv) {
       Status cst = dbi.Checkpoint(arg);
       std::printf("%s\n", cst.ok() ? ("checkpointed to " + arg).c_str()
                                    : cst.ToString().c_str());
+      continue;
+    }
+    if (cmd.rfind(".calibrate", 0) == 0) {
+      std::string arg = cmd.size() > 10 ? cmd.substr(10) : "";
+      while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+      if (arg.empty()) {
+        std::printf("usage: .calibrate <file.calib>\n");
+        continue;
+      }
+      Status cst = dbi.Calibrate(arg);
+      if (cst.ok()) {
+        std::printf("calibration attached: %s (%zu measured costs)\n",
+                    arg.c_str(),
+                    dbi.calibration() ? dbi.calibration()->size() : 0);
+      } else {
+        std::printf("error: %s\n", cst.ToString().c_str());
+      }
       continue;
     }
     if (cmd.rfind(".profile", 0) == 0) {
