@@ -21,6 +21,7 @@ enum class StatusCode {
   kNotFound,
   kIoError,
   kInternal,
+  kResourceExhausted,  // admission control: tenant queue/memory budget hit
 };
 
 /// Returns a stable human-readable name for `code` ("Ok", "Corruption", ...).
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,808 @@
+#include "db/database.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "db/shard_router.h"
+#include "exec/thread_pool.h"
+#include "sql/planner.h"
+#include "storage/tsfile.h"
+
+namespace etsqp::db {
+
+namespace {
+
+constexpr const char* kDefaultTenant = "default";
+
+exec::PipelineOptions ModeOptions(
+    Database::Mode mode, int threads, bool collect_stats,
+    std::shared_ptr<const exec::CostCalibration> calibration) {
+  exec::PipelineOptions o = mode == Database::Mode::kScalar
+                                ? exec::PipelineOptions::Serial()
+                                : exec::PipelineOptions::EtsqpPrune(threads);
+  if (mode == Database::Mode::kSimd) {
+    o.WithCalibration(std::move(calibration));
+  }
+  return o.WithStats(collect_stats);
+}
+
+bool HasRightInput(const exec::LogicalPlan& plan) {
+  return plan.kind == exec::LogicalPlan::Kind::kProjectBinary ||
+         plan.kind == exec::LogicalPlan::Kind::kUnion ||
+         plan.kind == exec::LogicalPlan::Kind::kJoin ||
+         plan.kind == exec::LogicalPlan::Kind::kCorrelate;
+}
+
+/// What this query is admitted to cost: both encoded pages (decoded once,
+/// accumulated once => ~2x) and the snapshot's copy of the unsealed tail
+/// (two int64 arrays per point). An estimate, not an accounting — admission
+/// needs an upper-bound signal before execution, not a profile after.
+constexpr uint64_t kTailBytesPerPoint = 16;
+
+struct AdmissionTicket {
+  uint64_t wait_nanos = 0;
+  uint64_t queue_depth = 0;
+};
+
+}  // namespace
+
+struct Database::Rep {
+  Mode mode;
+  int threads;
+  bool collect_stats = false;
+  bool testing_fail_before_wal_truncate = false;
+
+  ShardRouter router;
+  std::vector<std::unique_ptr<Shard>> shards;
+  /// Owns the background-seal tasks submitted on the shards' behalf.
+  /// Declared after shards so it is destroyed first: the TaskGroup
+  /// destructor waits out in-flight encodes before the stores go away.
+  std::unique_ptr<exec::TaskGroup> seal_group;
+
+  ResultCache cache;
+  storage::Wal::ReplayStats last_recovery;
+
+  /// Readers = Query() executions; writers = engine reconfiguration,
+  /// file-store attach/detach, calibration swaps, resharding.
+  mutable std::shared_mutex engine_mu;
+
+  struct Tenant {
+    TenantOptions opts;
+    TenantStats stats;
+  };
+  mutable std::mutex tenant_mu;
+  mutable std::condition_variable tenant_cv;
+  mutable std::map<std::string, Tenant> tenants;
+
+  explicit Rep(const Options& o)
+      : mode(o.mode),
+        threads(o.mode == Mode::kScalar ? 1 : (o.threads > 0 ? o.threads : 1)),
+        router(o.shards),
+        cache(o.cache_budget_bytes) {
+    for (int k = 0; k < router.num_shards(); ++k) {
+      shards.push_back(std::make_unique<Shard>(k));
+    }
+    RebuildEnginesLocked();
+  }
+
+  /// Caller holds engine_mu exclusively (or is the constructor).
+  void RebuildEnginesLocked() {
+    for (auto& s : shards) {
+      s->engine = std::make_unique<exec::Engine>(
+          ModeOptions(mode, threads, collect_stats, s->calibration));
+    }
+  }
+
+  Shard& ShardFor(const std::string& series) {
+    return *shards[router.ShardOf(series)];
+  }
+  const Shard& ShardFor(const std::string& series) const {
+    return *shards[router.ShardOf(series)];
+  }
+
+  uint64_t MemoryBudgetOf(const std::string& tenant) const {
+    std::lock_guard<std::mutex> lock(tenant_mu);
+    auto it = tenants.find(tenant);
+    return it == tenants.end() ? 0 : it->second.opts.memory_budget_bytes;
+  }
+
+  /// Caller holds engine_mu (shared suffices: stores are internally
+  /// synchronized, only the shard vector must not move).
+  uint64_t EstimateBytes(const exec::LogicalPlan& plan) const {
+    uint64_t total = 0;
+    auto add = [&](const std::string& name) {
+      if (name.empty()) return;
+      const storage::SeriesStore& store = ShardFor(name).store;
+      total += 2 * store.EncodedBytes(name) +
+               kTailBytesPerPoint * store.TailPoints(name);
+    };
+    add(plan.series);
+    if (HasRightInput(plan)) add(plan.series_right);
+    return total;
+  }
+
+  Status Admit(const std::string& tenant, uint64_t estimate,
+               AdmissionTicket* ticket) const {
+    std::unique_lock<std::mutex> lock(tenant_mu);
+    Tenant& t = tenants[tenant];
+    if (t.opts.memory_budget_bytes > 0 &&
+        estimate > t.opts.memory_budget_bytes) {
+      ++t.stats.rejected_memory;
+      return Status::ResourceExhausted(
+          "tenant '" + tenant + "': query estimate " +
+          std::to_string(estimate) + " bytes over memory budget " +
+          std::to_string(t.opts.memory_budget_bytes));
+    }
+    auto can_run = [&t] {
+      return t.opts.max_concurrent < 0 ||
+             t.stats.active < t.opts.max_concurrent;
+    };
+    if (!can_run()) {
+      if (t.stats.queued >= t.opts.max_queued) {
+        ++t.stats.rejected_queue;
+        return Status::ResourceExhausted(
+            "tenant '" + tenant + "': admission queue full (max_queued=" +
+            std::to_string(t.opts.max_queued) + ")");
+      }
+      ++t.stats.queued;
+      ticket->queue_depth = static_cast<uint64_t>(t.stats.queued);
+      const uint64_t t0 = metrics::NowNanos();
+      tenant_cv.wait(lock, can_run);
+      --t.stats.queued;
+      ticket->wait_nanos = metrics::NowNanos() - t0;
+      t.stats.wait_nanos += ticket->wait_nanos;
+    } else {
+      ticket->queue_depth = static_cast<uint64_t>(t.stats.queued);
+    }
+    ++t.stats.active;
+    ++t.stats.admitted;
+    return Status::Ok();
+  }
+
+  void Release(const std::string& tenant) const {
+    {
+      std::lock_guard<std::mutex> lock(tenant_mu);
+      --tenants[tenant].stats.active;
+    }
+    tenant_cv.notify_all();
+  }
+
+  /// Plan signature + per-input (series, data epoch) + shard layout. Two
+  /// queries computing equal keys saw identical data (SeriesSnapshot::epoch
+  /// contract), so the cache needs no explicit invalidation hooks.
+  std::string CacheKey(const exec::LogicalPlan& plan) const {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "k%d|f%d|t[%" PRId64 ",%" PRId64 "]|v%d[%" PRId64
+                  ",%" PRId64 "]|w%d(%" PRId64 ",%" PRId64 ")|b%c|i%c|s%d",
+                  static_cast<int>(plan.kind), static_cast<int>(plan.func),
+                  plan.time_filter.lo, plan.time_filter.hi,
+                  plan.value_filter.active ? 1 : 0, plan.value_filter.lo,
+                  plan.value_filter.hi, plan.window.active ? 1 : 0,
+                  plan.window.t_min, plan.window.delta_t, plan.binary_op,
+                  plan.inter_column_op ? plan.inter_column_op : '.',
+                  router.num_shards());
+    std::string key = buf;
+    auto input = [&](const std::string& name) {
+      const storage::SeriesStore& store = ShardFor(name).store;
+      key += '|';
+      key += name;
+      key += '@';
+      key += std::to_string(store.SeriesEpoch(name));
+    };
+    input(plan.series);
+    if (HasRightInput(plan)) input(plan.series_right);
+    return key;
+  }
+
+  /// Best-effort per-shard calibration attach; silently keeps the static
+  /// model on a missing/corrupt/version-skewed cache.
+  void TryAttachCalibration(Shard* shard, const std::string& path) {
+    Result<exec::CostCalibration> cal =
+        exec::CostCalibration::LoadFromFile(path);
+    if (!cal.ok()) return;
+    std::unique_lock<std::shared_mutex> lock(engine_mu);
+    shard->calibration =
+        std::make_shared<const exec::CostCalibration>(std::move(cal).value());
+    shard->engine = std::make_unique<exec::Engine>(
+        ModeOptions(mode, threads, collect_stats, shard->calibration));
+  }
+
+  /// The EXPLAIN ANALYZE serving-layer block appended below the engine's
+  /// execution profile.
+  void AppendServingProfile(const std::string& tenant, int primary_shard,
+                            exec::QueryResult* out) const {
+    char buf[256];
+    out->explain_text += "---- serving layer ----\n";
+    std::snprintf(buf, sizeof(buf), "shard: %d of %d (primary)\n",
+                  primary_shard, router.num_shards());
+    out->explain_text += buf;
+    ResultCache::Stats cs = cache.stats();
+    if (cs.budget_bytes > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "result cache: hits=%" PRIu64 " misses=%" PRIu64
+                    " | global entries=%" PRIu64 " bytes=%" PRIu64
+                    "/%" PRIu64 " evictions=%" PRIu64 "\n",
+                    out->stats.cache_hits, out->stats.cache_misses, cs.entries,
+                    cs.bytes, cs.budget_bytes, cs.evictions);
+      out->explain_text += buf;
+    } else {
+      out->explain_text += "result cache: off\n";
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "admission: tenant=%s waited=%.3f ms queue_depth=%" PRIu64
+                  "\n",
+                  tenant.c_str(),
+                  static_cast<double>(out->stats.admission_wait_nanos) / 1e6,
+                  out->stats.admission_queue_depth);
+    out->explain_text += buf;
+  }
+};
+
+Database::Database(const Options& options)
+    : rep_(std::make_unique<Rep>(options)) {}
+Database::~Database() = default;
+Database::Database(Database&&) noexcept = default;
+Database& Database::operator=(Database&&) noexcept = default;
+
+// --- Catalog + ingest ------------------------------------------------------
+
+Status Database::CreateTimeseries(const std::string& name,
+                                  uint32_t page_size) {
+  storage::SeriesStore::SeriesOptions options;
+  options.page_size = page_size;
+  return rep_->ShardFor(name).store.CreateSeries(name, options);
+}
+
+Status Database::CreateTimeseries(
+    const std::string& name,
+    const storage::SeriesStore::SeriesOptions& options) {
+  return rep_->ShardFor(name).store.CreateSeries(name, options);
+}
+
+Status Database::CreateFloatTimeseries(const std::string& name,
+                                       enc::ColumnEncoding encoding,
+                                       uint32_t page_size) {
+  if (!enc::IsFloatEncoding(encoding)) {
+    return Status::InvalidArgument("not a float encoding");
+  }
+  storage::SeriesStore::SeriesOptions options;
+  options.page_size = page_size;
+  options.page.value_encoding = encoding;
+  return rep_->ShardFor(name).store.CreateSeries(name, options);
+}
+
+Status Database::Insert(const std::string& name, int64_t time, int64_t value) {
+  return rep_->ShardFor(name).store.Append(name, time, value);
+}
+
+Status Database::InsertBatch(const std::string& name, const int64_t* times,
+                             const int64_t* values, size_t n) {
+  return rep_->ShardFor(name).store.AppendBatch(name, times, values, n);
+}
+
+Status Database::InsertF64(const std::string& name, int64_t time,
+                           double value) {
+  return rep_->ShardFor(name).store.AppendF64(name, time, value);
+}
+
+Status Database::InsertBatchF64(const std::string& name, const int64_t* times,
+                                const double* values, size_t n) {
+  return rep_->ShardFor(name).store.AppendBatchF64(name, times, values, n);
+}
+
+Status Database::Flush() {
+  for (auto& shard : rep_->shards) {
+    ETSQP_RETURN_IF_ERROR(shard->store.Flush());
+  }
+  return Status::Ok();
+}
+
+Status Database::EnableIngest(const IngestConfig& config) {
+  Rep* rep = rep_.get();
+  const int n = rep->router.num_shards();
+  if (!config.wal_path.empty()) {
+    for (auto& shard : rep->shards) {
+      if (shard->store.wal() != nullptr) {
+        return Status::InvalidArgument("a WAL is already attached");
+      }
+    }
+    storage::Wal::ReplayStats agg;
+    for (auto& shard : rep->shards) {
+      storage::Wal::Options options;
+      options.fsync = config.fsync;
+      options.batch_bytes = config.wal_batch_bytes;
+      Result<std::unique_ptr<storage::Wal>> wal = storage::Wal::Open(
+          Shard::ArtifactPath(config.wal_path, shard->index, n), options);
+      if (!wal.ok()) return wal.status();
+      // Recovery before attach: records from an earlier run (possibly on
+      // top of a Load()ed checkpoint) are applied idempotently, a torn tail
+      // is truncated away, and only then does the log accept new appends.
+      storage::Wal::ReplayStats replay;
+      ETSQP_RETURN_IF_ERROR(wal.value()->ReplayInto(&shard->store, &replay));
+      shard->store.NoteRecovery(replay);
+      shard->last_recovery = replay;
+      agg.records_applied += replay.records_applied;
+      agg.records_skipped += replay.records_skipped;
+      agg.records_dropped += replay.records_dropped;
+      agg.bytes_dropped += replay.bytes_dropped;
+      agg.points_applied += replay.points_applied;
+      shard->store.AttachWal(std::move(wal).value());
+    }
+    rep->last_recovery = agg;
+  }
+  if (config.background_seal) {
+    if (rep->seal_group == nullptr) {
+      rep->seal_group = std::make_unique<exec::TaskGroup>();
+    }
+    exec::TaskGroup* group = rep->seal_group.get();
+    for (auto& shard : rep->shards) {
+      shard->store.SetBackgroundSeal(true, [group](std::function<void()> fn) {
+        group->Submit(std::move(fn));
+      });
+    }
+  }
+  return Status::Ok();
+}
+
+Status Database::Checkpoint(const std::string& path) {
+  Rep* rep = rep_.get();
+  const int n = rep->router.num_shards();
+  for (auto& shard : rep->shards) {
+    ETSQP_RETURN_IF_ERROR(shard->store.Flush());
+    ETSQP_RETURN_IF_ERROR(storage::WriteTsFile(
+        shard->store, Shard::ArtifactPath(path, shard->index, n)));
+    storage::Wal* wal = shard->store.wal();
+    if (wal != nullptr && !rep->testing_fail_before_wal_truncate) {
+      // The TsFile now covers every logged point; the log restarts empty.
+      ETSQP_RETURN_IF_ERROR(wal->Reset());
+    }
+  }
+  return Status::Ok();
+}
+
+void Database::TestingFailBeforeWalTruncate(bool on) {
+  rep_->testing_fail_before_wal_truncate = on;
+}
+
+metrics::IngestStats Database::ingest_stats() const {
+  metrics::IngestStats total;
+  for (const auto& shard : rep_->shards) {
+    metrics::IngestStats s = shard->store.ingest_stats();
+    total.points_appended += s.points_appended;
+    total.append_batches += s.append_batches;
+    total.rejected_batches += s.rejected_batches;
+    total.pages_sealed += s.pages_sealed;
+    total.background_seals += s.background_seals;
+    total.seal_nanos += s.seal_nanos;
+    total.tail_points += s.tail_points;
+    total.wal_records += s.wal_records;
+    total.wal_bytes += s.wal_bytes;
+    total.wal_fsyncs += s.wal_fsyncs;
+    total.wal_sync_nanos += s.wal_sync_nanos;
+    total.recovered_records += s.recovered_records;
+    total.recovered_points += s.recovered_points;
+    total.dropped_wal_records += s.dropped_wal_records;
+  }
+  return total;
+}
+
+const storage::Wal::ReplayStats& Database::last_recovery() const {
+  return rep_->last_recovery;
+}
+
+// --- Queries ---------------------------------------------------------------
+
+Result<exec::QueryResult> Database::Query(const std::string& sql) const {
+  return Query(kDefaultTenant, sql);
+}
+
+Result<exec::QueryResult> Database::Query(const std::string& tenant,
+                                          const std::string& sql) const {
+  Result<exec::LogicalPlan> plan = sql::PlanQuery(sql);
+  if (!plan.ok()) return plan.status();
+  const exec::LogicalPlan& p = plan.value();
+  Rep* rep = rep_.get();
+
+  // Admission first, outside the engine lock: a queued query must not block
+  // reconfiguration, and a rejected one must cost nothing further.
+  uint64_t estimate = 0;
+  if (rep->MemoryBudgetOf(tenant) > 0) {
+    std::shared_lock<std::shared_mutex> lock(rep->engine_mu);
+    estimate = rep->EstimateBytes(p);
+  }
+  AdmissionTicket ticket;
+  ETSQP_RETURN_IF_ERROR(rep->Admit(tenant, estimate, &ticket));
+  // Releases the admission slot when the query leaves scope, success or not.
+  struct Slot {
+    Rep* rep;
+    const std::string& tenant;
+    ~Slot() { rep->Release(tenant); }
+  } slot{rep, tenant};
+  (void)slot;
+
+  std::shared_lock<std::shared_mutex> lock(rep->engine_mu);
+  Shard& primary = rep->ShardFor(p.series);
+  auto decorate = [&ticket](exec::ExecStats* stats) {
+    stats->admission_wait_nanos = ticket.wait_nanos;
+    stats->admission_queue_depth = ticket.queue_depth;
+  };
+
+  if (primary.file_store != nullptr) {
+    // File-backed path: pages stream through the buffer pool; no data
+    // epochs there, so the result cache stays out of the way.
+    Result<exec::QueryResult> run =
+        primary.engine->Execute(p, primary.file_store.get());
+    if (run.ok()) decorate(&run.value().stats);
+    return run;
+  }
+
+  const bool analyze = p.explain == exec::LogicalPlan::ExplainMode::kAnalyze;
+  const bool cache_on = rep->cache.enabled();
+  const bool cacheable =
+      cache_on && p.explain == exec::LogicalPlan::ExplainMode::kNone;
+  std::string key;
+  if (cacheable || (analyze && cache_on)) key = rep->CacheKey(p);
+
+  if (cacheable) {
+    exec::QueryResult hit;
+    if (rep->cache.Lookup(key, &hit)) {
+      hit.stats.cache_hits = 1;
+      decorate(&hit.stats);
+      return hit;
+    }
+  }
+
+  // Inputs resolve through the router: each series snapshots on its owning
+  // shard, and the plan still compiles into one PipelineJobSet on the
+  // shared executor (cross-shard merge = the ordinary merge stage).
+  exec::SnapshotResolver resolve =
+      [rep](const std::string& name) -> Result<storage::SeriesSnapshot> {
+    return rep->ShardFor(name).store.GetSnapshot(name);
+  };
+  Result<exec::QueryResult> run =
+      primary.engine->Execute(p, exec::StoreHandle(std::move(resolve)));
+  if (!run.ok()) return run.status();
+  exec::QueryResult out = std::move(run).value();
+
+  if (cacheable) {
+    out.stats.cache_misses = 1;
+    out.stats.cache_evictions = rep->cache.Insert(key, out);
+  } else if (analyze && cache_on) {
+    // ANALYZE probes (so the profile shows what a plain run would have
+    // done) but always executes — it needs a measured profile to render.
+    const bool hit = rep->cache.Probe(key);
+    out.stats.cache_hits = hit ? 1 : 0;
+    out.stats.cache_misses = hit ? 0 : 1;
+  }
+  decorate(&out.stats);
+  if (analyze) rep->AppendServingProfile(tenant, primary.index, &out);
+  return out;
+}
+
+// --- Tenants ---------------------------------------------------------------
+
+void Database::ConfigureTenant(const std::string& name,
+                               const TenantOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(rep_->tenant_mu);
+    rep_->tenants[name].opts = options;
+  }
+  // Loosened limits may unblock queued queries.
+  rep_->tenant_cv.notify_all();
+}
+
+std::map<std::string, Database::TenantStats> Database::tenant_stats() const {
+  std::lock_guard<std::mutex> lock(rep_->tenant_mu);
+  std::map<std::string, TenantStats> out;
+  for (const auto& [name, t] : rep_->tenants) out[name] = t.stats;
+  return out;
+}
+
+// --- Engine reconfiguration ------------------------------------------------
+
+void Database::SetMode(Mode mode) {
+  std::unique_lock<std::shared_mutex> lock(rep_->engine_mu);
+  rep_->mode = mode;
+  rep_->RebuildEnginesLocked();
+}
+
+void Database::SetThreads(int threads) {
+  std::unique_lock<std::shared_mutex> lock(rep_->engine_mu);
+  rep_->threads = threads > 0 ? threads : 1;
+  // Warm the shared pool to the new width so the first query at this
+  // setting does not pay worker spin-up (the query itself is one runner).
+  if (rep_->threads > 1) exec::ThreadPool::Global().Reserve(rep_->threads - 1);
+  rep_->RebuildEnginesLocked();
+}
+
+void Database::SetCollectStats(bool on) {
+  std::unique_lock<std::shared_mutex> lock(rep_->engine_mu);
+  rep_->collect_stats = on;
+  rep_->RebuildEnginesLocked();
+}
+
+Database::Mode Database::mode() const { return rep_->mode; }
+int Database::threads() const { return rep_->threads; }
+bool Database::collect_stats() const { return rep_->collect_stats; }
+
+// --- Persistence -----------------------------------------------------------
+
+Status Database::Save(const std::string& path) const {
+  const int n = rep_->router.num_shards();
+  for (const auto& shard : rep_->shards) {
+    ETSQP_RETURN_IF_ERROR(storage::WriteTsFile(
+        shard->store, Shard::ArtifactPath(path, shard->index, n)));
+  }
+  return Status::Ok();
+}
+
+Status Database::Load(const std::string& path) {
+  Rep* rep = rep_.get();
+  const int n = rep->router.num_shards();
+  if (n == 1) {
+    ETSQP_RETURN_IF_ERROR(storage::ReadTsFile(path, &rep->shards[0]->store));
+    rep->TryAttachCalibration(rep->shards[0].get(),
+                              Shard::CalibPath(path, 0, 1));
+    return Status::Ok();
+  }
+  Status first = storage::ReadTsFile(Shard::ArtifactPath(path, 0, n),
+                                     &rep->shards[0]->store);
+  if (first.ok()) {
+    rep->TryAttachCalibration(rep->shards[0].get(),
+                              Shard::CalibPath(path, 0, n));
+    for (int k = 1; k < n; ++k) {
+      ETSQP_RETURN_IF_ERROR(storage::ReadTsFile(
+          Shard::ArtifactPath(path, k, n), &rep->shards[k]->store));
+      rep->TryAttachCalibration(rep->shards[k].get(),
+                                Shard::CalibPath(path, k, n));
+    }
+    return Status::Ok();
+  }
+  if (first.code() != StatusCode::kIoError) return first;
+  // No per-shard files: read the combined file once and redistribute its
+  // series through the router, sharing pages instead of copying payloads.
+  storage::SeriesStore staged;
+  ETSQP_RETURN_IF_ERROR(storage::ReadTsFile(path, &staged));
+  for (const std::string& name : staged.SeriesNames()) {
+    Result<const storage::SeriesStore::Series*> s = staged.GetSeries(name);
+    if (!s.ok()) return s.status();
+    Shard& shard = rep->ShardFor(name);
+    ETSQP_RETURN_IF_ERROR(shard.store.CreateSeries(name, s.value()->options));
+    for (const auto& page : s.value()->pages) {
+      ETSQP_RETURN_IF_ERROR(shard.store.AddPageShared(name, page));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Database::Calibrate(const std::string& path) {
+  Rep* rep = rep_.get();
+  const int n = rep->router.num_shards();
+  // Shard 0 loads-or-measures at the caller's path; the sweep is
+  // machine-level, so other shards seed from it when their own per-shard
+  // cache (`<path>.shard<k>`) is missing or corrupt.
+  bool measured = false;
+  Result<std::shared_ptr<const exec::CostCalibration>> seed =
+      exec::CostCalibration::LoadOrMeasure(Shard::ArtifactPath(path, 0, n),
+                                           &measured);
+  if (!seed.ok()) return seed.status();
+  std::unique_lock<std::shared_mutex> lock(rep->engine_mu);
+  rep->shards[0]->calibration = seed.value();
+  for (int k = 1; k < n; ++k) {
+    const std::string own_path = Shard::ArtifactPath(path, k, n);
+    Result<exec::CostCalibration> own =
+        exec::CostCalibration::LoadFromFile(own_path);
+    if (own.ok()) {
+      rep->shards[k]->calibration =
+          std::make_shared<const exec::CostCalibration>(
+              std::move(own).value());
+    } else {
+      // Best-effort persist so the shard's next open loads directly.
+      (void)seed.value()->SaveToFile(own_path);
+      rep->shards[k]->calibration = seed.value();
+    }
+  }
+  rep->RebuildEnginesLocked();
+  return Status::Ok();
+}
+
+std::shared_ptr<const exec::CostCalibration> Database::calibration() const {
+  return rep_->shards[0]->calibration;
+}
+
+Status Database::OpenFile(const std::string& path,
+                          size_t memory_budget_bytes) {
+  Rep* rep = rep_.get();
+  const int n = rep->router.num_shards();
+  // Open everything before attaching anything: attach is all-or-nothing.
+  std::vector<std::unique_ptr<storage::FileBackedStore>> stores;
+  for (int k = 0; k < n; ++k) {
+    auto store = std::make_unique<storage::FileBackedStore>();
+    storage::FileBackedStore::Options options;
+    options.memory_budget_bytes = memory_budget_bytes;
+    ETSQP_RETURN_IF_ERROR(
+        store->Open(Shard::ArtifactPath(path, k, n), options));
+    stores.push_back(std::move(store));
+  }
+  {
+    // Writer lock: swapping the file stores must not race in-flight
+    // queries holding raw pointers to the old ones.
+    std::unique_lock<std::shared_mutex> lock(rep->engine_mu);
+    for (int k = 0; k < n; ++k) {
+      rep->shards[k]->file_store = std::move(stores[k]);
+    }
+  }
+  for (int k = 0; k < n; ++k) {
+    rep->TryAttachCalibration(rep->shards[k].get(),
+                              Shard::CalibPath(path, k, n));
+  }
+  return Status::Ok();
+}
+
+void Database::CloseFile() {
+  // Writer lock: in-flight queries run against the file store under the
+  // reader side, so detach waits them out instead of racing them.
+  std::unique_lock<std::shared_mutex> lock(rep_->engine_mu);
+  for (auto& shard : rep_->shards) shard->file_store.reset();
+}
+
+const storage::FileBackedStore* Database::file_store() const {
+  return rep_->shards[0]->file_store.get();
+}
+
+Status Database::ImportCsv(const std::string& series,
+                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("open: " + path);
+  char line[256];
+  size_t lineno = 0;
+  Status status;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    // Skip a header or blank line.
+    if (lineno == 1 && !std::isdigit(static_cast<unsigned char>(line[0])) &&
+        line[0] != '-') {
+      continue;
+    }
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    char* comma = std::strchr(line, ',');
+    if (comma == nullptr) {
+      status = Status::InvalidArgument("csv: missing comma at line " +
+                                       std::to_string(lineno));
+      break;
+    }
+    errno = 0;
+    char* end = nullptr;
+    long long t = std::strtoll(line, &end, 10);
+    long long v = std::strtoll(comma + 1, &end, 10);
+    if (errno != 0) {
+      status = Status::InvalidArgument("csv: bad number at line " +
+                                       std::to_string(lineno));
+      break;
+    }
+    status = Insert(series, t, v);
+    if (!status.ok()) break;
+  }
+  std::fclose(f);
+  return status;
+}
+
+Status Database::ExportCsv(const std::string& series,
+                           const std::string& path) const {
+  Result<exec::LogicalPlan> plan = sql::PlanQuery("SELECT * FROM " + series);
+  if (!plan.ok()) return plan.status();
+  Rep* rep = rep_.get();
+  std::shared_lock<std::shared_mutex> lock(rep->engine_mu);
+  exec::SnapshotResolver resolve =
+      [rep](const std::string& name) -> Result<storage::SeriesSnapshot> {
+    return rep->ShardFor(name).store.GetSnapshot(name);
+  };
+  Result<exec::QueryResult> result = rep->ShardFor(series).engine->Execute(
+      plan.value(), exec::StoreHandle(std::move(resolve)));
+  if (!result.ok()) return result.status();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("open for write: " + path);
+  std::fprintf(f, "time,value\n");
+  const exec::QueryResult& qr = result.value();
+  for (size_t r = 0; r < qr.num_rows(); ++r) {
+    std::fprintf(f, "%lld,%lld\n", static_cast<long long>(qr.columns[0][r]),
+                 static_cast<long long>(qr.columns[1][r]));
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+// --- Topology --------------------------------------------------------------
+
+int Database::num_shards() const { return rep_->router.num_shards(); }
+
+int Database::ShardOf(const std::string& series) const {
+  return rep_->router.ShardOf(series);
+}
+
+Status Database::Reshard(int num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  Rep* rep = rep_.get();
+  for (auto& shard : rep->shards) {
+    if (shard->store.wal() != nullptr) {
+      return Status::InvalidArgument(
+          "reshard with a WAL attached is not supported");
+    }
+    if (shard->file_store != nullptr) {
+      return Status::InvalidArgument(
+          "close the file store before resharding");
+    }
+  }
+  // Seal every tail so series move as immutable pages only.
+  ETSQP_RETURN_IF_ERROR(Flush());
+  std::unique_lock<std::shared_mutex> lock(rep->engine_mu);
+  struct Moved {
+    std::string name;
+    storage::SeriesStore::SeriesOptions options;
+    std::vector<std::shared_ptr<const storage::Page>> pages;
+  };
+  std::vector<Moved> moved;
+  for (auto& shard : rep->shards) {
+    for (const std::string& name : shard->store.SeriesNames()) {
+      Result<const storage::SeriesStore::Series*> s =
+          shard->store.GetSeries(name);
+      if (!s.ok()) return s.status();
+      moved.push_back({name, s.value()->options, s.value()->pages});
+    }
+  }
+  rep->router = ShardRouter(num_shards);
+  rep->shards.clear();
+  for (int k = 0; k < rep->router.num_shards(); ++k) {
+    rep->shards.push_back(std::make_unique<Shard>(k));
+  }
+  for (const Moved& m : moved) {
+    Shard& shard = rep->ShardFor(m.name);
+    ETSQP_RETURN_IF_ERROR(shard.store.CreateSeries(m.name, m.options));
+    for (const auto& page : m.pages) {
+      ETSQP_RETURN_IF_ERROR(shard.store.AddPageShared(m.name, page));
+    }
+  }
+  rep->RebuildEnginesLocked();
+  // Keys embed the shard count, but stale entries would still occupy budget.
+  rep->cache.Clear();
+  return Status::Ok();
+}
+
+// --- Result cache ----------------------------------------------------------
+
+ResultCache::Stats Database::cache_stats() const {
+  return rep_->cache.stats();
+}
+
+void Database::SetCacheBudget(size_t budget_bytes) {
+  rep_->cache.SetBudget(budget_bytes);
+}
+
+void Database::ClearCache() { rep_->cache.Clear(); }
+
+// --- Introspection ---------------------------------------------------------
+
+storage::SeriesStore* Database::shard_store(int shard) {
+  return &rep_->shards[shard]->store;
+}
+
+const storage::SeriesStore& Database::shard_store(int shard) const {
+  return rep_->shards[shard]->store;
+}
+
+const exec::Engine& Database::engine() const {
+  return *rep_->shards[0]->engine;
+}
+
+}  // namespace etsqp::db

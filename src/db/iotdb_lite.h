@@ -2,13 +2,12 @@
 #define ETSQP_DB_IOTDB_LITE_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "db/database.h"
 #include "exec/engine.h"
-#include "exec/thread_pool.h"
 #include "storage/buffer_manager.h"
 #include "storage/series_store.h"
 #include "storage/wal.h"
@@ -24,170 +23,160 @@ namespace etsqp::db {
 ///   IoTDB       = Mode::kScalar  (serial decoding, no vector sharing)
 ///   IoTDB-SIMD  = Mode::kSimd    (this paper's integrated engine)
 ///
-/// Concurrency: Query() is safe to call from many threads at once — all
-/// queries execute on the process-wide executor pool (exec/thread_pool.h),
-/// each bounded by the configured thread count, and an engine-level
-/// reader/writer lock serializes the reconfiguration calls (SetMode /
-/// SetThreads / SetCollectStats / OpenFile / CloseFile) against in-flight
-/// queries. Ingestion (Insert*/Flush/Load) is synchronized too: the store
-/// is internally locked and queries run over per-series snapshots, so
-/// concurrent Insert and Query from different threads is a supported,
-/// tested contract — a query observes every point whose Insert returned
-/// before the query started, and never a torn batch.
+/// Since the serving-core refactor this is a thin facade over db::Database
+/// pinned to one shard with the result cache off: every call delegates, the
+/// on-disk layout (TsFile, WAL, `<path>.calib`) is byte-identical to the
+/// pre-sharding format, and the concurrency contract is unchanged — Query()
+/// from many threads is safe, reconfiguration (SetMode / SetThreads /
+/// SetCollectStats / OpenFile / CloseFile) takes the engine writer lock and
+/// waits out in-flight queries, and concurrent Insert/Query is a supported,
+/// tested contract. Multi-shard, multi-tenant serving lives on Database
+/// directly (docs/ARCHITECTURE.md "Serving core").
 class IotDbLite {
  public:
-  enum class Mode { kScalar, kSimd };
+  using Mode = Database::Mode;
+  using IngestConfig = Database::IngestConfig;
 
-  explicit IotDbLite(Mode mode = Mode::kSimd, int threads = 1);
+  explicit IotDbLite(Mode mode = Mode::kSimd, int threads = 1)
+      : db_(Database::Options{mode, threads, /*shards=*/1,
+                              /*cache_budget_bytes=*/0}) {}
 
   /// Creates a time series with the default TS2DIFF page encoding.
   Status CreateTimeseries(const std::string& name,
-                          uint32_t page_size = 4096);
+                          uint32_t page_size = 4096) {
+    return db_.CreateTimeseries(name, page_size);
+  }
   Status CreateTimeseries(const std::string& name,
-                          const storage::SeriesStore::SeriesOptions& options);
+                          const storage::SeriesStore::SeriesOptions& options) {
+    return db_.CreateTimeseries(name, options);
+  }
 
-  Status Insert(const std::string& name, int64_t time, int64_t value);
+  Status Insert(const std::string& name, int64_t time, int64_t value) {
+    return db_.Insert(name, time, value);
+  }
   Status InsertBatch(const std::string& name, const int64_t* times,
-                     const int64_t* values, size_t n);
+                     const int64_t* values, size_t n) {
+    return db_.InsertBatch(name, times, values, n);
+  }
 
   /// Float (double) series: values compressed with an XOR/pattern encoder
   /// (Gorilla by default; Chimp/Elf via the options overload).
   Status CreateFloatTimeseries(
       const std::string& name,
       enc::ColumnEncoding encoding = enc::ColumnEncoding::kGorillaValue,
-      uint32_t page_size = 4096);
-  Status InsertF64(const std::string& name, int64_t time, double value);
+      uint32_t page_size = 4096) {
+    return db_.CreateFloatTimeseries(name, encoding, page_size);
+  }
+  Status InsertF64(const std::string& name, int64_t time, double value) {
+    return db_.InsertF64(name, time, value);
+  }
   Status InsertBatchF64(const std::string& name, const int64_t* times,
-                        const double* values, size_t n);
-  Status Flush();
+                        const double* values, size_t n) {
+    return db_.InsertBatchF64(name, times, values, n);
+  }
+  Status Flush() { return db_.Flush(); }
 
-  /// --- Streaming ingest subsystem (WAL + background sealing) ------------
-  ///
-  /// EnableIngest turns the in-memory store into a durable streaming
-  /// target: a write-ahead log at `wal_path` is opened, replayed into the
-  /// store (crash recovery — idempotent on top of a Load()ed checkpoint),
-  /// and attached so every subsequent CreateTimeseries/Insert* is logged
-  /// before it is acknowledged. With `background_seal`, full ingestion
-  /// buffers are encoded into pages on the shared executor pool instead of
-  /// on the inserting thread.
-  struct IngestConfig {
-    std::string wal_path;  // empty => no WAL (tail + sealing only)
-    storage::Wal::FsyncPolicy fsync = storage::Wal::FsyncPolicy::kBatch;
-    size_t wal_batch_bytes = 64 << 10;  // group-commit threshold for kBatch
-    bool background_seal = false;
-  };
-  Status EnableIngest(const IngestConfig& config);
+  /// Streaming ingest (WAL durability + background sealing); see
+  /// Database::EnableIngest. Single shard => the WAL lives at the plain
+  /// `wal_path`, exactly as before the refactor.
+  Status EnableIngest(const IngestConfig& config) {
+    return db_.EnableIngest(config);
+  }
 
   /// Durability checkpoint: Flush() every tail into pages, persist the
   /// whole store as a TsFile at `path`, then truncate the WAL (its records
   /// are redundant once the TsFile holds them). Callers serialize
   /// Checkpoint against their own ingest threads; a checkpoint racing an
   /// insert can fail benignly with "unflushed series" and may be retried.
-  Status Checkpoint(const std::string& path);
+  Status Checkpoint(const std::string& path) { return db_.Checkpoint(path); }
 
   /// Testing fault hook: when set, Checkpoint() stops right before the WAL
-  /// truncation — simulating a crash in the save-to-truncate window. A
-  /// subsequent recovery must then skip the already-checkpointed records
-  /// (idempotent replay) instead of double-applying them.
+  /// truncation — simulating a crash in the save-to-truncate window.
   void TestingFailBeforeWalTruncate(bool on) {
-    testing_fail_before_wal_truncate_ = on;
+    db_.TestingFailBeforeWalTruncate(on);
   }
 
   /// Ingest/WAL/seal counters (docs/OBSERVABILITY.md).
-  metrics::IngestStats ingest_stats() const { return store_.ingest_stats(); }
+  metrics::IngestStats ingest_stats() const { return db_.ingest_stats(); }
   /// What the last EnableIngest recovery pass did (zeros before/without).
   const storage::Wal::ReplayStats& last_recovery() const {
-    return last_recovery_;
+    return db_.last_recovery();
   }
 
   /// Parses and executes one SQL statement (Table III dialect, plus the
   /// EXPLAIN [ANALYZE] prefix). Runs against the file-backed store when one
   /// is attached (OpenFile), otherwise against the in-memory store.
-  Result<exec::QueryResult> Query(const std::string& sql) const;
+  Result<exec::QueryResult> Query(const std::string& sql) const {
+    return db_.Query(sql);
+  }
 
   /// Reconfigure the engine without rebuilding the database. Existing data
   /// (in-memory series, attached file store) is untouched. Safe while other
   /// threads run Query(): reconfiguration waits for in-flight queries.
-  void SetMode(Mode mode);
+  void SetMode(Mode mode) { db_.SetMode(mode); }
   /// Also reserves capacity on the shared executor pool so the first query
   /// at the new width does not pay worker spin-up.
-  void SetThreads(int threads);
+  void SetThreads(int threads) { db_.SetThreads(threads); }
   /// Per-stage ExecStats collection for subsequent queries (EXPLAIN ANALYZE
   /// forces it on for its own run regardless).
-  void SetCollectStats(bool on);
+  void SetCollectStats(bool on) { db_.SetCollectStats(on); }
 
-  Mode mode() const { return mode_; }
-  int threads() const { return threads_; }
-  bool collect_stats() const { return collect_stats_; }
+  Mode mode() const { return db_.mode(); }
+  int threads() const { return db_.threads(); }
+  bool collect_stats() const { return db_.collect_stats(); }
 
   /// Persists all (flushed) series to a TsFile / loads one written earlier.
   /// Load also looks for a calibration cache at `<path>.calib` and attaches
   /// it when present and intact (silent fallback to the static cost model
   /// otherwise).
-  Status Save(const std::string& path) const;
-  Status Load(const std::string& path);
+  Status Save(const std::string& path) const { return db_.Save(path); }
+  Status Load(const std::string& path) { return db_.Load(path); }
 
   /// Self-tuning calibration for the SchedulerRegistry (Mode::kSimd): loads
   /// the measured per-(entry, page-class) cost cache at `path` when it is
   /// valid, otherwise runs the microbenchmark sweep and writes it there.
-  /// The result is attached to subsequent queries' planning. Re-running
-  /// against an existing valid cache is cheap (pure load, no measuring).
-  Status Calibrate(const std::string& path);
+  Status Calibrate(const std::string& path) { return db_.Calibrate(path); }
   /// The attached calibration cache, or null when running on the static
   /// Proposition 1 CostConstants.
   std::shared_ptr<const exec::CostCalibration> calibration() const {
-    return calibration_;
+    return db_.calibration();
   }
 
   /// Attaches a TsFile through the LRU buffer pool (Section VI-C gradual
   /// page loading) instead of loading it whole: only page headers become
   /// resident; Query streams surviving pages on demand. Aggregations only.
   Status OpenFile(const std::string& path,
-                  size_t memory_budget_bytes = 64 << 20);
-  /// Detaches the file store; Query returns to the in-memory store.
-  void CloseFile();
+                  size_t memory_budget_bytes = 64 << 20) {
+    return db_.OpenFile(path, memory_budget_bytes);
+  }
+  /// Detaches the file store; Query returns to the in-memory store. Takes
+  /// the engine writer lock, so it waits out queries running against the
+  /// file store instead of racing them.
+  void CloseFile() { db_.CloseFile(); }
   const storage::FileBackedStore* file_store() const {
-    return file_store_.get();
+    return db_.file_store();
   }
 
   /// CSV interchange. Import expects a header line `time,value` (or none)
   /// and rows `<int64 time>,<int64 value>`; rows must be time-ordered. The
   /// series must exist. Export writes the same format.
-  Status ImportCsv(const std::string& series, const std::string& path);
-  Status ExportCsv(const std::string& series, const std::string& path) const;
+  Status ImportCsv(const std::string& series, const std::string& path) {
+    return db_.ImportCsv(series, path);
+  }
+  Status ExportCsv(const std::string& series, const std::string& path) const {
+    return db_.ExportCsv(series, path);
+  }
 
-  storage::SeriesStore* store() { return &store_; }
-  const storage::SeriesStore& store() const { return store_; }
-  const exec::Engine& engine() const { return engine_; }
+  storage::SeriesStore* store() { return db_.shard_store(0); }
+  const storage::SeriesStore& store() const { return db_.shard_store(0); }
+  const exec::Engine& engine() const { return db_.engine(); }
+
+  /// The serving core underneath (tests of the facade wiring).
+  Database* database() { return &db_; }
+  const Database& database() const { return db_; }
 
  private:
-  void RebuildEngine();
-  /// Loads `path` and swaps it in when valid; silently keeps the static
-  /// cost model otherwise (missing/corrupt cache is not an error here).
-  void TryAttachCalibration(const std::string& path);
-
-  Mode mode_ = Mode::kSimd;
-  int threads_ = 1;
-  bool collect_stats_ = false;
-  /// Measured registry costs (Calibrate / Load auto-attach); null = static
-  /// CostConstants. Shared into each rebuilt engine's options.
-  std::shared_ptr<const exec::CostCalibration> calibration_;
-  bool testing_fail_before_wal_truncate_ = false;
-  storage::Wal::ReplayStats last_recovery_;
-  storage::SeriesStore store_;
-  /// Owns the background-seal tasks submitted on the store's behalf.
-  /// Declared after store_ so it is destroyed first: the TaskGroup
-  /// destructor waits out in-flight encodes before the database goes away.
-  /// Heap-held (like engine_mu_) so IotDbLite stays movable.
-  std::unique_ptr<exec::TaskGroup> seal_group_;
-  std::unique_ptr<storage::FileBackedStore> file_store_;
-  /// Readers = Query() executions; writers = engine reconfiguration and
-  /// file-store attach/detach. Keeps concurrent queries from observing a
-  /// half-rebuilt engine. Heap-held so IotDbLite stays movable (moving a
-  /// database while queries are in flight is already a caller error).
-  mutable std::unique_ptr<std::shared_mutex> engine_mu_ =
-      std::make_unique<std::shared_mutex>();
-  exec::Engine engine_;
+  Database db_;
 };
 
 }  // namespace etsqp::db

@@ -1,0 +1,105 @@
+#include "db/result_cache.h"
+
+#include <utility>
+
+namespace etsqp::db {
+
+size_t ResultCache::EntryBytes(const std::string& key,
+                               const exec::QueryResult& result) {
+  size_t bytes = key.size() + sizeof(Entry) + 64;  // map node + list overhead
+  for (const auto& col : result.columns) bytes += col.size() * sizeof(double);
+  for (const auto& name : result.column_names) bytes += name.size() + 8;
+  bytes += result.explain_text.size();
+  return bytes;
+}
+
+bool ResultCache::Lookup(const std::string& key, exec::QueryResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (budget_ == 0 || it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->result;
+  ++hits_;
+  return true;
+}
+
+bool ResultCache::Probe(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (budget_ == 0 || it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return true;
+}
+
+void ResultCache::EvictOneLocked() {
+  Entry& cold = lru_.back();
+  bytes_ -= cold.bytes;
+  index_.erase(cold.key);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+uint64_t ResultCache::Insert(const std::string& key,
+                             const exec::QueryResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_ == 0) return 0;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  size_t bytes = EntryBytes(key, result);
+  if (bytes > budget_) return 0;  // would evict everything and still churn
+  uint64_t evicted = 0;
+  while (bytes_ + bytes > budget_ && !lru_.empty()) {
+    EvictOneLocked();
+    ++evicted;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.result = result;
+  // Cached stats would replay the producing run's profile on every hit;
+  // keep only the result shape. Hits report fresh serving-layer stats.
+  entry.result.stats = exec::ExecStats{};
+  entry.result.stats.result_tuples = result.num_rows();
+  entry.bytes = bytes;
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+  return evicted;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void ResultCache::SetBudget(size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = budget_bytes;
+  while (bytes_ > budget_ && !lru_.empty()) EvictOneLocked();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.budget_bytes = budget_;
+  return s;
+}
+
+}  // namespace etsqp::db

@@ -1,0 +1,60 @@
+#ifndef ETSQP_DB_SHARD_H_
+#define ETSQP_DB_SHARD_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/engine.h"
+#include "exec/scheduler_registry.h"
+#include "storage/buffer_manager.h"
+#include "storage/series_store.h"
+#include "storage/wal.h"
+
+namespace etsqp::db {
+
+/// One slice of the database: a SeriesStore (with its own WAL when ingest
+/// is enabled), an optional file-backed TsFile attachment, the shard's
+/// calibration cache, and the engine configured with it. Shards own no
+/// synchronization of their own — the Database's engine reader/writer lock
+/// covers engine/file-store/calibration swaps, and the SeriesStore is
+/// internally synchronized — so a Shard is plain data the serving layer
+/// routes onto.
+///
+/// On-disk artifacts are namespaced per shard so several shards can live in
+/// one directory: shard k of an N-shard database derives
+/// `<base>.shard<k>` for TsFiles and WALs and `<base>.shard<k>.calib` for
+/// the calibration cache. A single-shard database uses the plain `<base>`
+/// (and `<base>.calib`) paths — byte-compatible with the pre-sharding
+/// IotDbLite layout, which is what keeps the facade's files interchangeable
+/// with old ones.
+struct Shard {
+  explicit Shard(int index_in) : index(index_in) {}
+
+  int index = 0;
+  storage::SeriesStore store;
+  std::unique_ptr<storage::FileBackedStore> file_store;
+  /// Per-shard measured registry costs; null = static CostConstants.
+  std::shared_ptr<const exec::CostCalibration> calibration;
+  /// Rebuilt (under the database writer lock) whenever mode/threads/stats
+  /// or this shard's calibration changes.
+  std::unique_ptr<exec::Engine> engine;
+  /// What this shard's last EnableIngest recovery pass replayed.
+  storage::Wal::ReplayStats last_recovery;
+
+  /// `<base>` for a 1-shard database, `<base>.shard<k>` otherwise.
+  static std::string ArtifactPath(const std::string& base, int shard,
+                                  int num_shards) {
+    if (num_shards <= 1) return base;
+    return base + ".shard" + std::to_string(shard);
+  }
+
+  /// Calibration cache path: `<base>.calib` / `<base>.shard<k>.calib`.
+  static std::string CalibPath(const std::string& base, int shard,
+                               int num_shards) {
+    return ArtifactPath(base, shard, num_shards) + ".calib";
+  }
+};
+
+}  // namespace etsqp::db
+
+#endif  // ETSQP_DB_SHARD_H_

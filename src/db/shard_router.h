@@ -1,0 +1,44 @@
+#ifndef ETSQP_DB_SHARD_ROUTER_H_
+#define ETSQP_DB_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace etsqp::db {
+
+/// Maps series names onto shards. Placement is pure hash partitioning
+/// (FNV-1a over the full series name, mod shard count): series names in the
+/// IoT catalogs are `<device>.<attribute>`, so hashing the whole name
+/// spreads both devices and attributes, and a name routes identically on
+/// every node that agrees on the shard count. Deterministic — the router
+/// carries no state beyond the count, so it is trivially copyable and
+/// lock-free to consult on the query path.
+class ShardRouter {
+ public:
+  explicit ShardRouter(int num_shards)
+      : num_shards_(num_shards > 0 ? num_shards : 1) {}
+
+  int num_shards() const { return num_shards_; }
+
+  /// Shard index of `series` in [0, num_shards).
+  int ShardOf(const std::string& series) const {
+    return static_cast<int>(Fnv1a(series) % static_cast<uint64_t>(num_shards_));
+  }
+
+  /// 64-bit FNV-1a; exposed for tests asserting placement stability.
+  static uint64_t Fnv1a(const std::string& s) {
+    uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+ private:
+  int num_shards_;
+};
+
+}  // namespace etsqp::db
+
+#endif  // ETSQP_DB_SHARD_ROUTER_H_

@@ -153,6 +153,14 @@ Status MaterializeInputs(const LogicalPlan& plan,
   return RunPipelineJobs(set, options, stats);
 }
 
+/// Resolves the plan's inputs through the handle (memory store or the db
+/// layer's cross-shard resolver — same code path either way).
+Result<std::vector<storage::SeriesSnapshot>> ResolveHandle(
+    const LogicalPlan& plan, const StoreHandle& store) {
+  return ResolveInputs(
+      plan, [&store](const std::string& name) { return store.Snapshot(name); });
+}
+
 }  // namespace
 
 Result<QueryResult> Engine::Execute(const LogicalPlan& plan,
@@ -165,8 +173,8 @@ Result<QueryResult> Engine::Execute(const LogicalPlan& plan,
   Result<QueryResult> result =
       store.file() != nullptr
           ? ExecuteFile(plan, store.file())
-          : (store.memory() != nullptr
-                 ? ExecuteMemory(plan, *store.memory())
+          : (store.resolves()
+                 ? ExecuteMemory(plan, store)
                  : Result<QueryResult>(Status::Internal("null store handle")));
   if (timed && result.ok()) {
     result.value().stats.wall_nanos = metrics::NowNanos() - t0;
@@ -181,12 +189,16 @@ Result<QueryResult> Engine::ExecuteExplain(const LogicalPlan& plan,
   inner.explain = LogicalPlan::ExplainMode::kNone;
   // The rendered tree comes from Pipe compilation either way; it is
   // header-only work, so re-running it for ANALYZE costs nothing visible.
-  Result<PipelineSpec> spec =
-      store.file() != nullptr
-          ? BuildFilePipeline(inner, store.file(), options_)
-          : (store.memory() != nullptr
-                 ? BuildPipeline(inner, *store.memory(), options_)
-                 : Result<PipelineSpec>(Status::Internal("null store handle")));
+  Result<PipelineSpec> spec = [&]() -> Result<PipelineSpec> {
+    if (store.file() != nullptr) {
+      return BuildFilePipeline(inner, store.file(), options_);
+    }
+    if (!store.resolves()) return Status::Internal("null store handle");
+    Result<std::vector<storage::SeriesSnapshot>> snaps =
+        ResolveHandle(inner, store);
+    if (!snaps.ok()) return snaps.status();
+    return BuildPipeline(inner, snaps.value(), options_);
+  }();
   if (!spec.ok()) return spec.status();
 
   if (plan.explain == LogicalPlan::ExplainMode::kPlan) {
@@ -205,8 +217,8 @@ Result<QueryResult> Engine::ExecuteExplain(const LogicalPlan& plan,
   return out;
 }
 
-Result<QueryResult> Engine::ExecuteMemory(
-    const LogicalPlan& plan, const storage::SeriesStore& store) const {
+Result<QueryResult> Engine::ExecuteMemory(const LogicalPlan& plan,
+                                          const StoreHandle& store) const {
   switch (plan.kind) {
     case LogicalPlan::Kind::kAggregate:
       return ExecuteAggregate(plan, store);
@@ -302,10 +314,10 @@ Result<QueryResult> Engine::ExecuteFile(
   return result;
 }
 
-Result<QueryResult> Engine::ExecuteAggregate(
-    const LogicalPlan& plan, const storage::SeriesStore& store) const {
+Result<QueryResult> Engine::ExecuteAggregate(const LogicalPlan& plan,
+                                             const StoreHandle& store) const {
   Result<std::vector<storage::SeriesSnapshot>> snaps =
-      ResolveInputs(plan, store);
+      ResolveHandle(plan, store);
   if (!snaps.ok()) return snaps.status();
   Result<PipelineSpec> spec = BuildPipeline(plan, snaps.value(), options_);
   if (!spec.ok()) return spec.status();
@@ -433,10 +445,10 @@ Result<QueryResult> Engine::ExecuteAggregate(
   return result;
 }
 
-Result<QueryResult> Engine::ExecuteSelect(
-    const LogicalPlan& plan, const storage::SeriesStore& store) const {
+Result<QueryResult> Engine::ExecuteSelect(const LogicalPlan& plan,
+                                          const StoreHandle& store) const {
   Result<std::vector<storage::SeriesSnapshot>> snaps =
-      ResolveInputs(plan, store);
+      ResolveHandle(plan, store);
   if (!snaps.ok()) return snaps.status();
   Result<PipelineSpec> spec = BuildPipeline(plan, snaps.value(), options_);
   if (!spec.ok()) return spec.status();
@@ -456,10 +468,10 @@ Result<QueryResult> Engine::ExecuteSelect(
   return result;
 }
 
-Result<QueryResult> Engine::ExecuteBinary(
-    const LogicalPlan& plan, const storage::SeriesStore& store) const {
+Result<QueryResult> Engine::ExecuteBinary(const LogicalPlan& plan,
+                                          const StoreHandle& store) const {
   Result<std::vector<storage::SeriesSnapshot>> snaps =
-      ResolveInputs(plan, store);
+      ResolveHandle(plan, store);
   if (!snaps.ok()) return snaps.status();
   Result<PipelineSpec> spec = BuildPipeline(plan, snaps.value(), options_);
   if (!spec.ok()) return spec.status();
@@ -613,10 +625,10 @@ bool FusedCorrApplies(const storage::SeriesSnapshot& a,
 
 }  // namespace
 
-Result<QueryResult> Engine::ExecuteCorrelate(
-    const LogicalPlan& plan, const storage::SeriesStore& store) const {
+Result<QueryResult> Engine::ExecuteCorrelate(const LogicalPlan& plan,
+                                             const StoreHandle& store) const {
   Result<std::vector<storage::SeriesSnapshot>> snaps =
-      ResolveInputs(plan, store);
+      ResolveHandle(plan, store);
   if (!snaps.ok()) return snaps.status();
 
   QueryResult result;

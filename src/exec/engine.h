@@ -1,18 +1,23 @@
 #ifndef ETSQP_EXEC_ENGINE_H_
 #define ETSQP_EXEC_ENGINE_H_
 
+#include <string>
+#include <utility>
+
 #include "common/status.h"
 #include "exec/expr.h"
+#include "exec/pipe_builder.h"
 #include "exec/pipeline.h"
 #include "storage/buffer_manager.h"
 #include "storage/series_store.h"
 
 namespace etsqp::exec {
 
-/// The input a query runs against: either an in-memory SeriesStore or a
-/// file-backed store (Section VI-C's gradual page loading). Implicitly
-/// constructible from both so `engine.Execute(plan, store)` reads the same
-/// either way.
+/// The input a query runs against: an in-memory SeriesStore, a file-backed
+/// store (Section VI-C's gradual page loading), or a SnapshotResolver that
+/// maps each input series to a snapshot on whatever store owns it (the db
+/// layer's sharded path). Implicitly constructible from all three so
+/// `engine.Execute(plan, store)` reads the same either way.
 class StoreHandle {
  public:
   StoreHandle(const storage::SeriesStore& store)  // NOLINT(runtime/explicit)
@@ -21,13 +26,26 @@ class StoreHandle {
       : file_(store) {}
   StoreHandle(storage::FileBackedStore& store)  // NOLINT(runtime/explicit)
       : file_(&store) {}
+  StoreHandle(SnapshotResolver resolver)  // NOLINT(runtime/explicit)
+      : resolver_(std::move(resolver)) {}
 
   const storage::SeriesStore* memory() const { return memory_; }
   storage::FileBackedStore* file() const { return file_; }
 
+  /// True when Snapshot() can serve inputs (memory store or resolver).
+  bool resolves() const { return memory_ != nullptr || resolver_ != nullptr; }
+
+  /// Snapshot of `name` from whichever backing this handle wraps.
+  Result<storage::SeriesSnapshot> Snapshot(const std::string& name) const {
+    if (resolver_) return resolver_(name);
+    if (memory_ != nullptr) return memory_->GetSnapshot(name);
+    return Status::Internal("store handle resolves no snapshots");
+  }
+
  private:
   const storage::SeriesStore* memory_ = nullptr;
   storage::FileBackedStore* file_ = nullptr;
+  SnapshotResolver resolver_;
 };
 
 /// The ETSQP query engine facade: compiles a logical plan with Pipe
@@ -59,19 +77,19 @@ class Engine {
 
  private:
   Result<QueryResult> ExecuteMemory(const LogicalPlan& plan,
-                                    const storage::SeriesStore& store) const;
+                                    const StoreHandle& store) const;
   Result<QueryResult> ExecuteFile(const LogicalPlan& plan,
                                   storage::FileBackedStore* store) const;
   Result<QueryResult> ExecuteExplain(const LogicalPlan& plan,
                                      StoreHandle store) const;
   Result<QueryResult> ExecuteAggregate(const LogicalPlan& plan,
-                                       const storage::SeriesStore& store) const;
+                                       const StoreHandle& store) const;
   Result<QueryResult> ExecuteSelect(const LogicalPlan& plan,
-                                    const storage::SeriesStore& store) const;
+                                    const StoreHandle& store) const;
   Result<QueryResult> ExecuteBinary(const LogicalPlan& plan,
-                                    const storage::SeriesStore& store) const;
+                                    const StoreHandle& store) const;
   Result<QueryResult> ExecuteCorrelate(const LogicalPlan& plan,
-                                       const storage::SeriesStore& store) const;
+                                       const StoreHandle& store) const;
 
   PipelineOptions options_;
 };

@@ -173,6 +173,17 @@ std::string RenderStats(const ExecStats& stats) {
             stats.tail_tuples, stats.tail_tuples_scanned);
   }
   Appendf(&out, "bytes loaded: %" PRIu64 "\n", stats.bytes_loaded);
+  if (stats.cache_hits + stats.cache_misses + stats.cache_evictions > 0) {
+    Appendf(&out,
+            "result cache: hits=%" PRIu64 " misses=%" PRIu64
+            " evictions=%" PRIu64 "\n",
+            stats.cache_hits, stats.cache_misses, stats.cache_evictions);
+  }
+  if (stats.admission_wait_nanos > 0 || stats.admission_queue_depth > 0) {
+    out += "admission: waited ";
+    AppendTime(&out, stats.admission_wait_nanos);
+    Appendf(&out, "  queue_depth=%" PRIu64 "\n", stats.admission_queue_depth);
+  }
   if (!stats.scheduler.empty()) {
     // Predicted-vs-measured per page class: how well the cost model (or the
     // calibration cache) anticipated the kernels it scheduled.

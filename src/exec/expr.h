@@ -175,6 +175,17 @@ struct ExecStats {
   std::map<std::string, SchedDecisionStats> scheduler;
   uint64_t mispredictions = 0;
 
+  // Serving-layer counters (db/database.h): result-cache outcomes for this
+  // query (a hit short-circuits execution entirely) and what admission
+  // control did to it — nanoseconds spent queued behind the tenant's
+  // concurrency limit, and the tenant queue depth observed at enqueue.
+  // Always zero for bare-Engine runs; the Database front end fills them in.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;  // entries this query's insert evicted
+  uint64_t admission_wait_nanos = 0;
+  uint64_t admission_queue_depth = 0;
+
   void Merge(const ExecStats& o) {
     pages_total += o.pages_total;
     pages_pruned += o.pages_pruned;
@@ -192,6 +203,13 @@ struct ExecStats {
     if (o.pool_workers > pool_workers) pool_workers = o.pool_workers;
     for (const auto& [key, s] : o.scheduler) scheduler[key].Merge(s);
     mispredictions += o.mispredictions;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
+    admission_wait_nanos += o.admission_wait_nanos;
+    if (o.admission_queue_depth > admission_queue_depth) {
+      admission_queue_depth = o.admission_queue_depth;
+    }
   }
 
   /// One-line-per-field JSON object (counters, and — when collected — the

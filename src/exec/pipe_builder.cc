@@ -95,16 +95,22 @@ bool TailSurvivesPruning(const storage::SeriesSnapshot& snap,
 
 Result<std::vector<storage::SeriesSnapshot>> ResolveInputs(
     const LogicalPlan& plan, const storage::SeriesStore& store) {
+  return ResolveInputs(plan, [&store](const std::string& name) {
+    return store.GetSnapshot(name);
+  });
+}
+
+Result<std::vector<storage::SeriesSnapshot>> ResolveInputs(
+    const LogicalPlan& plan, const SnapshotResolver& resolve) {
   std::vector<storage::SeriesSnapshot> inputs;
-  Result<storage::SeriesSnapshot> left = store.GetSnapshot(plan.series);
+  Result<storage::SeriesSnapshot> left = resolve(plan.series);
   if (!left.ok()) return left.status();
   inputs.push_back(std::move(left).value());
   if (plan.kind == LogicalPlan::Kind::kProjectBinary ||
       plan.kind == LogicalPlan::Kind::kUnion ||
       plan.kind == LogicalPlan::Kind::kJoin ||
       plan.kind == LogicalPlan::Kind::kCorrelate) {
-    Result<storage::SeriesSnapshot> right =
-        store.GetSnapshot(plan.series_right);
+    Result<storage::SeriesSnapshot> right = resolve(plan.series_right);
     if (!right.ok()) return right.status();
     inputs.push_back(std::move(right).value());
   }

@@ -1,6 +1,7 @@
 #ifndef ETSQP_EXEC_PIPE_BUILDER_H_
 #define ETSQP_EXEC_PIPE_BUILDER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -70,12 +71,25 @@ class DecisionCache {
   std::map<std::string, int> index_;
 };
 
+/// Maps a series name to a consistent snapshot. The indirection is what
+/// lets one compiled pipeline span stores: the db layer's shard router
+/// supplies a resolver that looks each input up on its owning shard, so a
+/// cross-shard binary plan still compiles into a single PipelineJobSet and
+/// merges through the ordinary merge stage.
+using SnapshotResolver =
+    std::function<Result<storage::SeriesSnapshot>(const std::string&)>;
+
 /// Captures consistent snapshots of the plan's input series (left, plus
 /// right for binary operators): sealed pages and the queryable tail in one
 /// lock acquisition per input, so execution is stable under concurrent
 /// ingest.
 Result<std::vector<storage::SeriesSnapshot>> ResolveInputs(
     const LogicalPlan& plan, const storage::SeriesStore& store);
+
+/// Same, but each input snapshot comes from `resolve` — the multi-shard
+/// entry point (inputs may live on different stores).
+Result<std::vector<storage::SeriesSnapshot>> ResolveInputs(
+    const LogicalPlan& plan, const SnapshotResolver& resolve);
 
 /// Builds jobs for `plan` over resolved input snapshots. Applies
 /// header-level page pruning (time range vs page min/max always; value

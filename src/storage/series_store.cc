@@ -94,6 +94,7 @@ void SeriesStore::DrainReadySegmentsLocked(State* st, Series* s) {
     } else {
       s->total_points += front.page->header.count;
       s->pages.push_back(std::move(front.page));
+      ++s->epoch;  // seal install: cached results over the tail go stale
       ++st->ingest.pages_sealed;
       ++st->ingest.background_seals;
     }
@@ -121,6 +122,7 @@ Status SeriesStore::SealBufferLocked(State* st, Series* s) {
     if (!status.ok()) return status;
     s->total_points += page->header.count;
     s->pages.push_back(std::move(page));
+    ++s->epoch;
     ++st->ingest.pages_sealed;
     return Status::Ok();
   }
@@ -192,6 +194,7 @@ Status SeriesStore::AppendLocked(State* st, const std::string& name,
   }
   s.appended_points += n;
   s.last_time = times[n - 1];
+  ++s.epoch;
   st->ingest.points_appended += n;
   ++st->ingest.append_batches;
   return Status::Ok();
@@ -271,6 +274,7 @@ Status SeriesStore::ApplyReplayBatch(const std::string& name,
   }
   s.appended_points += apply;
   s.last_time = times[apply - 1];
+  ++s.epoch;
   *points_applied = apply;
   return Status::Ok();
 }
@@ -312,6 +316,22 @@ Status SeriesStore::AddPage(const std::string& name, Page page) {
   s.appended_points += count;
   if (max_time > s.last_time) s.last_time = max_time;
   s.pages.push_back(std::make_shared<const Page>(std::move(page)));
+  ++s.epoch;
+  return Status::Ok();
+}
+
+Status SeriesStore::AddPageShared(const std::string& name,
+                                  std::shared_ptr<const Page> page) {
+  State* st = state_.get();
+  std::unique_lock<std::shared_mutex> lock(st->mu);
+  auto it = st->series.find(name);
+  if (it == st->series.end()) return Status::NotFound("series: " + name);
+  Series& s = it->second;
+  s.total_points += page->header.count;
+  s.appended_points += page->header.count;
+  if (page->header.max_time > s.last_time) s.last_time = page->header.max_time;
+  s.pages.push_back(std::move(page));
+  ++s.epoch;
   return Status::Ok();
 }
 
@@ -326,6 +346,7 @@ Result<SeriesSnapshot> SeriesStore::GetSnapshot(
   snap.name = s.name;
   snap.page_options = s.options.page;
   snap.is_float = s.is_float();
+  snap.epoch = s.epoch;
   snap.pages = s.pages;  // shared, immutable
 
   size_t tail = s.buf_times.size();
@@ -407,6 +428,23 @@ uint64_t SeriesStore::EncodedBytes(const std::string& name) const {
   uint64_t total = 0;
   for (const auto& p : it->second.pages) total += p->encoded_bytes();
   return total;
+}
+
+uint64_t SeriesStore::SeriesEpoch(const std::string& name) const {
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
+  auto it = st->series.find(name);
+  return it == st->series.end() ? 0 : it->second.epoch;
+}
+
+uint64_t SeriesStore::TailPoints(const std::string& name) const {
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
+  auto it = st->series.find(name);
+  if (it == st->series.end()) return 0;
+  uint64_t tail = it->second.buf_times.size();
+  for (const auto& seg : it->second.sealing) tail += seg->times.size();
+  return tail;
 }
 
 void SeriesStore::AttachWal(std::unique_ptr<Wal> wal) {

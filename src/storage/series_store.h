@@ -30,6 +30,13 @@ struct SeriesSnapshot {
   std::string name;
   PageOptions page_options;
   bool is_float = false;
+  /// Data epoch at capture: the series' mutation counter, advanced by every
+  /// acknowledged append, page seal install, replay, and AddPage. Two
+  /// snapshots of the same series with equal epochs saw identical data, so
+  /// (series, time range, epoch) is a sound result-cache key — any tail
+  /// advance or background seal bumps it and implicitly invalidates cached
+  /// results (db/result_cache.h).
+  uint64_t epoch = 0;
   std::vector<std::shared_ptr<const Page>> pages;
   // Unsealed tail (pending-seal segments + active buffer, in time order).
   std::vector<int64_t> tail_times;
@@ -104,6 +111,7 @@ class SeriesStore {
     std::deque<std::shared_ptr<SealSegment>> sealing;
     uint64_t total_points = 0;     // sealed points
     uint64_t appended_points = 0;  // ever-acknowledged points (WAL seq)
+    uint64_t epoch = 0;  // mutation counter (appends, seal installs, loads)
     int64_t last_time = INT64_MIN;  // ordering fence (Definition 1)
     Status seal_error = Status::Ok();  // sticky background-seal failure
 
@@ -149,6 +157,12 @@ class SeriesStore {
   /// ordering fence to the page's max time.
   Status AddPage(const std::string& name, Page page);
 
+  /// Like AddPage but shares an already-immutable page instead of taking
+  /// ownership — the shard redistribution path (db/database.h) moves series
+  /// between stores without copying encoded payloads.
+  Status AddPageShared(const std::string& name,
+                       std::shared_ptr<const Page> page);
+
   /// Captures a consistent sealed+tail view for query execution.
   Result<SeriesSnapshot> GetSnapshot(const std::string& name) const;
 
@@ -158,6 +172,16 @@ class SeriesStore {
 
   /// Total encoded bytes across all pages of `name` (compression metric).
   uint64_t EncodedBytes(const std::string& name) const;
+
+  /// Current data epoch of `name` (0 when the series does not exist): the
+  /// counter captured into SeriesSnapshot::epoch. Cheap — one shared-lock
+  /// map lookup — so result-cache key construction costs no snapshot.
+  uint64_t SeriesEpoch(const std::string& name) const;
+
+  /// Currently buffered (unsealed) points of `name`, pending-seal segments
+  /// included; 0 when the series does not exist. Used by admission control
+  /// to bound the memory a query snapshot would copy.
+  uint64_t TailPoints(const std::string& name) const;
 
   // --- Streaming ingest subsystem ---------------------------------------
 

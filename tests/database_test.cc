@@ -1,0 +1,645 @@
+// Serving-core tests: ShardRouter determinism, multi-shard query
+// equivalence (including cross-shard binary plans), per-shard persistence
+// and combined-file redistribution, resharding, tenant admission control,
+// the epoch-keyed result cache (hits, implicit invalidation by append /
+// background seal / checkpoint, eviction under budget), per-shard
+// calibration caches with corrupt-file fallback, and the facade's
+// OpenFile/CloseFile-vs-Query race (the *Concurrency* suite also runs in
+// CI's ThreadSanitizer job).
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "db/iotdb_lite.h"
+#include "db/shard.h"
+#include "db/shard_router.h"
+#include "exec/scheduler_registry.h"
+
+namespace etsqp {
+namespace {
+
+using db::Database;
+using db::IotDbLite;
+using db::Session;
+using db::Shard;
+using db::ShardRouter;
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void WriteGarbage(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "this is not a valid etsqp artifact";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Deterministic int series: values in [0, 100), returns their sum.
+int64_t FillSeries(Database* db, const std::string& name, int n,
+                   uint32_t page_size = 512) {
+  EXPECT_TRUE(db->CreateTimeseries(name, page_size).ok());
+  std::vector<int64_t> times(n), values(n);
+  uint64_t rng = 0x9e3779b97f4a7c15ull ^ ShardRouter::Fnv1a(name);
+  int64_t sum = 0;
+  for (int i = 0; i < n; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    times[i] = i;
+    values[i] = static_cast<int64_t>(rng >> 33) % 100;
+    sum += values[i];
+  }
+  EXPECT_TRUE(db->InsertBatch(name, times.data(), values.data(), n).ok());
+  return sum;
+}
+
+double SumOf(const Database& db, const std::string& series) {
+  Result<exec::QueryResult> r =
+      db.Query("SELECT SUM(" + series + ") FROM " + series + ";");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok() || r.value().num_rows() == 0) return -1;
+  return r.value().columns[0][0];
+}
+
+// --- ShardRouter -----------------------------------------------------------
+
+TEST(ShardRouterTest, DeterministicAndInRange) {
+  ShardRouter router(8);
+  ASSERT_EQ(router.num_shards(), 8);
+  for (int i = 0; i < 1000; ++i) {
+    std::string name = "series" + std::to_string(i);
+    int shard = router.ShardOf(name);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 8);
+    EXPECT_EQ(shard, router.ShardOf(name));  // stable
+    EXPECT_EQ(static_cast<uint64_t>(shard), ShardRouter::Fnv1a(name) % 8);
+  }
+}
+
+TEST(ShardRouterTest, ClampsToAtLeastOneShard) {
+  ShardRouter router(0);
+  EXPECT_EQ(router.num_shards(), 1);
+  EXPECT_EQ(router.ShardOf("anything"), 0);
+}
+
+TEST(ShardRouterTest, SpreadsSeriesAcrossShards) {
+  ShardRouter router(8);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 1000; ++i) {
+    ++counts[router.ShardOf("device" + std::to_string(i) + ".metric")];
+  }
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_GT(counts[k], 0) << "shard " << k << " got no series";
+  }
+}
+
+TEST(ShardRouterTest, ArtifactPathsAreNamespacedPerShard) {
+  EXPECT_EQ(Shard::ArtifactPath("/tmp/db.tsfile", 0, 1), "/tmp/db.tsfile");
+  EXPECT_EQ(Shard::CalibPath("/tmp/db.tsfile", 0, 1), "/tmp/db.tsfile.calib");
+  EXPECT_EQ(Shard::ArtifactPath("/tmp/db.tsfile", 2, 4),
+            "/tmp/db.tsfile.shard2");
+  EXPECT_EQ(Shard::CalibPath("/tmp/db.tsfile", 2, 4),
+            "/tmp/db.tsfile.shard2.calib");
+}
+
+// --- Sharded execution -----------------------------------------------------
+
+TEST(DatabaseShardingTest, MultiShardMatchesSingleShard) {
+  Database one(Database::Options{Database::Mode::kSimd, 2, 1, 0});
+  Database four(Database::Options{Database::Mode::kSimd, 2, 4, 0});
+  ASSERT_EQ(four.num_shards(), 4);
+  for (int i = 0; i < 8; ++i) {
+    std::string name = "m" + std::to_string(i);
+    int64_t sum = FillSeries(&one, name, 2000);
+    ASSERT_EQ(FillSeries(&four, name, 2000), sum);
+    EXPECT_EQ(SumOf(one, name), static_cast<double>(sum));
+    EXPECT_EQ(SumOf(four, name), static_cast<double>(sum));
+  }
+  // Filtered and windowed plans agree too.
+  for (const char* sql :
+       {"SELECT COUNT(m3) FROM m3 WHERE m3 > 50;",
+        "SELECT MAX(m5) FROM m5 WHERE time >= 100 AND time <= 1500;",
+        "SELECT AVG(m7) FROM m7 SW(0, 250);"}) {
+    Result<exec::QueryResult> a = one.Query(sql);
+    Result<exec::QueryResult> b = four.Query(sql);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a.value().columns, b.value().columns) << sql;
+  }
+}
+
+/// Two series on different shards of a 4-way database: binary projection,
+/// UNION, and CORR must compile into one job set across shards and match
+/// the single-shard answers exactly.
+TEST(DatabaseShardingTest, CrossShardBinaryPlans) {
+  Database one(Database::Options{Database::Mode::kSimd, 2, 1, 0});
+  Database four(Database::Options{Database::Mode::kSimd, 2, 4, 0});
+  std::string left, right;
+  for (int i = 0; i < 32 && right.empty(); ++i) {
+    std::string name = "x" + std::to_string(i);
+    if (left.empty()) {
+      left = name;
+    } else if (four.ShardOf(name) != four.ShardOf(left)) {
+      right = name;
+    }
+  }
+  ASSERT_FALSE(right.empty()) << "no shard-crossing pair found";
+  ASSERT_NE(four.ShardOf(left), four.ShardOf(right));
+  for (Database* target : {&one, &four}) {
+    FillSeries(target, left, 1500);
+    FillSeries(target, right, 1500);
+  }
+  for (const std::string& sql :
+       {"SELECT " + left + ".v + " + right + ".v FROM " + left + ", " +
+            right + ";",
+        "SELECT * FROM " + left + " UNION " + right + " ORDER BY TIME;",
+        "SELECT CORR(" + left + ".v, " + right + ".v) FROM " + left + ", " +
+            right + ";"}) {
+    Result<exec::QueryResult> a = one.Query(sql);
+    Result<exec::QueryResult> b = four.Query(sql);
+    ASSERT_TRUE(a.ok()) << sql << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << sql << ": " << b.status().ToString();
+    ASSERT_EQ(a.value().columns.size(), b.value().columns.size()) << sql;
+    for (size_t c = 0; c < a.value().columns.size(); ++c) {
+      ASSERT_EQ(a.value().columns[c].size(), b.value().columns[c].size());
+      for (size_t r = 0; r < a.value().columns[c].size(); ++r) {
+        EXPECT_DOUBLE_EQ(a.value().columns[c][r], b.value().columns[c][r])
+            << sql << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(DatabaseShardingTest, SaveLoadRoundTripsPerShardFiles) {
+  const std::string path = TempPath("db_shard_save.tsfile");
+  Database four(Database::Options{Database::Mode::kSimd, 1, 4, 0});
+  std::vector<int64_t> sums;
+  for (int i = 0; i < 6; ++i) {
+    sums.push_back(FillSeries(&four, "p" + std::to_string(i), 1200));
+  }
+  ASSERT_TRUE(four.Flush().ok());
+  ASSERT_TRUE(four.Save(path).ok());
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_TRUE(FileExists(Shard::ArtifactPath(path, k, 4)))
+        << "missing shard file " << k;
+  }
+
+  Database reopened(Database::Options{Database::Mode::kSimd, 1, 4, 0});
+  ASSERT_TRUE(reopened.Load(path).ok());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(SumOf(reopened, "p" + std::to_string(i)),
+              static_cast<double>(sums[i]));
+  }
+}
+
+/// A multi-shard database pointed at a single combined TsFile (the
+/// pre-sharding layout) redistributes its series through the router.
+TEST(DatabaseShardingTest, LoadRedistributesCombinedFile) {
+  const std::string path = TempPath("db_combined.tsfile");
+  Database one(Database::Options{Database::Mode::kSimd, 1, 1, 0});
+  std::vector<int64_t> sums;
+  for (int i = 0; i < 6; ++i) {
+    sums.push_back(FillSeries(&one, "q" + std::to_string(i), 1200));
+  }
+  ASSERT_TRUE(one.Flush().ok());
+  ASSERT_TRUE(one.Save(path).ok());
+
+  Database four(Database::Options{Database::Mode::kSimd, 1, 4, 0});
+  ASSERT_TRUE(four.Load(path).ok());
+  int populated_shards = 0;
+  for (int k = 0; k < 4; ++k) {
+    if (!four.shard_store(k)->SeriesNames().empty()) ++populated_shards;
+  }
+  EXPECT_GT(populated_shards, 1) << "redistribution left everything on one "
+                                    "shard";
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(SumOf(four, "q" + std::to_string(i)),
+              static_cast<double>(sums[i]));
+  }
+}
+
+TEST(DatabaseShardingTest, ReshardPreservesDataBothDirections) {
+  Database db(Database::Options{Database::Mode::kSimd, 1, 1, 0});
+  std::vector<int64_t> sums;
+  for (int i = 0; i < 6; ++i) {
+    // Odd count so a tail remains unflushed when Reshard runs.
+    sums.push_back(FillSeries(&db, "r" + std::to_string(i), 1300));
+  }
+  EXPECT_EQ(db.Reshard(0).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(db.Reshard(4).ok());
+  EXPECT_EQ(db.num_shards(), 4);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(SumOf(db, "r" + std::to_string(i)),
+              static_cast<double>(sums[i]));
+  }
+  ASSERT_TRUE(db.Reshard(1).ok());
+  EXPECT_EQ(db.num_shards(), 1);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(SumOf(db, "r" + std::to_string(i)),
+              static_cast<double>(sums[i]));
+  }
+}
+
+TEST(DatabaseShardingTest, ReshardRefusesWithWalAttached) {
+  const std::string wal = TempPath("db_reshard.wal");
+  std::remove(wal.c_str());
+  Database db(Database::Options{});
+  FillSeries(&db, "w", 100);
+  Database::IngestConfig config;
+  config.wal_path = wal;
+  ASSERT_TRUE(db.EnableIngest(config).ok());
+  EXPECT_EQ(db.Reshard(4).code(), StatusCode::kInvalidArgument);
+}
+
+// --- Admission control -----------------------------------------------------
+
+TEST(AdmissionControlTest, ZeroLimitsAreAHardOffSwitch) {
+  Database db(Database::Options{});
+  FillSeries(&db, "a", 100);
+  Database::TenantOptions limits;
+  limits.max_concurrent = 0;
+  limits.max_queued = 0;
+  db.ConfigureTenant("batch", limits);
+  Result<exec::QueryResult> r = db.Query("batch", "SELECT SUM(a) FROM a;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  auto stats = db.tenant_stats();
+  ASSERT_TRUE(stats.count("batch"));
+  EXPECT_EQ(stats["batch"].rejected_queue, 1u);
+  EXPECT_EQ(stats["batch"].admitted, 0u);
+}
+
+TEST(AdmissionControlTest, MemoryBudgetRejectsBigQueries) {
+  Database db(Database::Options{});
+  FillSeries(&db, "big", 1000);  // unflushed tail => estimate > 0
+  Database::TenantOptions tight;
+  tight.memory_budget_bytes = 1;
+  db.ConfigureTenant("tiny", tight);
+  Result<exec::QueryResult> r = db.Query("tiny", "SELECT SUM(big) FROM big;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  EXPECT_EQ(db.tenant_stats()["tiny"].rejected_memory, 1u);
+
+  Database::TenantOptions roomy;
+  roomy.memory_budget_bytes = 64 << 20;
+  db.ConfigureTenant("tiny", roomy);
+  EXPECT_TRUE(db.Query("tiny", "SELECT SUM(big) FROM big;").ok());
+  EXPECT_EQ(db.tenant_stats()["tiny"].admitted, 1u);
+}
+
+TEST(AdmissionControlTest, BoundedQueueAdmitsEveryQueryUnderContention) {
+  Database db(Database::Options{Database::Mode::kSimd, 2, 1, 0});
+  int64_t sum = FillSeries(&db, "c", 4000);
+  Database::TenantOptions limits;
+  limits.max_concurrent = 1;
+  limits.max_queued = 64;
+  db.ConfigureTenant("web", limits);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesEach = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&db, &failures, sum] {
+      for (int i = 0; i < kQueriesEach; ++i) {
+        Result<exec::QueryResult> r = db.Query("web", "SELECT SUM(c) FROM c;");
+        if (!r.ok() || r.value().columns[0][0] != static_cast<double>(sum)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto stats = db.tenant_stats();
+  EXPECT_EQ(stats["web"].admitted,
+            static_cast<uint64_t>(kClients * kQueriesEach));
+  EXPECT_EQ(stats["web"].rejected_queue, 0u);
+  EXPECT_EQ(stats["web"].rejected_memory, 0u);
+  EXPECT_EQ(stats["web"].active, 0);
+  EXPECT_EQ(stats["web"].queued, 0);
+}
+
+TEST(AdmissionControlTest, DefaultTenantIsUnthrottled) {
+  Database db(Database::Options{});
+  FillSeries(&db, "d", 100);
+  ASSERT_TRUE(db.Query("SELECT SUM(d) FROM d;").ok());
+  auto stats = db.tenant_stats();
+  ASSERT_TRUE(stats.count("default"));
+  EXPECT_GE(stats["default"].admitted, 1u);
+}
+
+TEST(DatabaseTenantTest, SessionsAttributeQueriesToTheirTenant) {
+  Database db(Database::Options{});
+  int64_t sum = FillSeries(&db, "s", 500);
+  Session alice(&db, "alice");
+  Session bob(&db, "bob");
+  for (int i = 0; i < 3; ++i) {
+    Result<exec::QueryResult> r = alice.Query("SELECT SUM(s) FROM s;");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().columns[0][0], static_cast<double>(sum));
+  }
+  ASSERT_TRUE(bob.Query("SELECT COUNT(s) FROM s;").ok());
+  auto stats = db.tenant_stats();
+  EXPECT_EQ(stats["alice"].admitted, 3u);
+  EXPECT_EQ(stats["bob"].admitted, 1u);
+}
+
+// --- Result cache ----------------------------------------------------------
+
+TEST(ResultCacheTest, RepeatQueryHitsCache) {
+  Database db(Database::Options{Database::Mode::kSimd, 1, 1, 1 << 20});
+  int64_t sum = FillSeries(&db, "s", 2000);
+  const std::string sql = "SELECT SUM(s) FROM s;";
+
+  Result<exec::QueryResult> first = db.Query(sql);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().stats.cache_misses, 1u);
+  EXPECT_EQ(first.value().stats.cache_hits, 0u);
+
+  Result<exec::QueryResult> second = db.Query(sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().stats.cache_hits, 1u);
+  EXPECT_EQ(second.value().columns[0][0], static_cast<double>(sum));
+
+  db::ResultCache::Stats cs = db.cache_stats();
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.entries, 1u);
+  EXPECT_GT(cs.bytes, 0u);
+}
+
+TEST(ResultCacheTest, ZeroBudgetDisablesTheCache) {
+  Database db(Database::Options{});  // facade default: cache off
+  FillSeries(&db, "s", 500);
+  for (int i = 0; i < 2; ++i) {
+    Result<exec::QueryResult> r = db.Query("SELECT SUM(s) FROM s;");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().stats.cache_hits, 0u);
+    EXPECT_EQ(r.value().stats.cache_misses, 0u);
+  }
+  EXPECT_EQ(db.cache_stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, AppendInvalidatesImplicitly) {
+  Database db(Database::Options{Database::Mode::kSimd, 1, 1, 1 << 20});
+  int64_t sum = FillSeries(&db, "s", 1000);
+  const std::string sql = "SELECT SUM(s) FROM s;";
+  ASSERT_TRUE(db.Query(sql).ok());
+  ASSERT_EQ(db.Query(sql).value().stats.cache_hits, 1u);
+
+  ASSERT_TRUE(db.Insert("s", 1000, 7).ok());  // epoch advances
+  Result<exec::QueryResult> fresh = db.Query(sql);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().stats.cache_misses, 1u);
+  EXPECT_EQ(fresh.value().columns[0][0], static_cast<double>(sum + 7));
+}
+
+/// A background-seal install advances the series epoch on its own — with no
+/// intervening append — so results cached over the unsealed tail go stale
+/// the moment the page lands.
+TEST(ResultCacheTest, BackgroundSealInstallAdvancesEpoch) {
+  Database db(Database::Options{Database::Mode::kSimd, 1, 1, 1 << 20});
+  ASSERT_TRUE(db.CreateTimeseries("s", /*page_size=*/256).ok());
+  Database::IngestConfig config;
+  config.background_seal = true;
+  ASSERT_TRUE(db.EnableIngest(config).ok());
+
+  std::vector<int64_t> times(256), values(256);
+  int64_t sum = 0;
+  for (int i = 0; i < 256; ++i) {
+    times[i] = i;
+    values[i] = i % 17;
+    sum += values[i];
+  }
+  // One batch append (epoch 0 -> 1) whose tail fills the page exactly,
+  // cutting a segment for the background sealer.
+  ASSERT_TRUE(db.InsertBatch("s", times.data(), values.data(), 256).ok());
+  for (int spin = 0; db.ingest_stats().pages_sealed < 1 && spin < 2000;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(db.ingest_stats().pages_sealed, 1u) << "seal never installed";
+  // One append + one install = epoch 2: the install bumped it by itself.
+  EXPECT_EQ(db.shard_store(0)->SeriesEpoch("s"), 2u);
+
+  const std::string sql = "SELECT SUM(s) FROM s;";
+  Result<exec::QueryResult> first = db.Query(sql);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().stats.cache_misses, 1u);
+  EXPECT_EQ(first.value().columns[0][0], static_cast<double>(sum));
+  EXPECT_EQ(db.Query(sql).value().stats.cache_hits, 1u);
+}
+
+TEST(ResultCacheTest, CheckpointSealInvalidates) {
+  const std::string path = TempPath("db_cache_ckpt.tsfile");
+  Database db(Database::Options{Database::Mode::kSimd, 1, 1, 1 << 20});
+  int64_t sum = FillSeries(&db, "s", 300);  // stays in the tail (page 512)
+  const std::string sql = "SELECT SUM(s) FROM s;";
+  ASSERT_TRUE(db.Query(sql).ok());
+  ASSERT_EQ(db.Query(sql).value().stats.cache_hits, 1u);
+
+  ASSERT_TRUE(db.Checkpoint(path).ok());  // Flush seals the tail inline
+  Result<exec::QueryResult> fresh = db.Query(sql);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().stats.cache_misses, 1u)
+      << "checkpoint's seal should have changed the cache key";
+  EXPECT_EQ(fresh.value().columns[0][0], static_cast<double>(sum));
+}
+
+TEST(ResultCacheTest, EvictsColdEntriesUnderByteBudget) {
+  Database db(Database::Options{Database::Mode::kSimd, 1, 1, 12 << 10});
+  for (const char* name : {"ea", "eb", "ec"}) {
+    FillSeries(&db, name, 300);
+  }
+  // Three SELECT * results (~5 KiB each) cannot all fit in 12 KiB.
+  ASSERT_TRUE(db.Query("SELECT * FROM ea;").ok());
+  ASSERT_TRUE(db.Query("SELECT * FROM eb;").ok());
+  Result<exec::QueryResult> third = db.Query("SELECT * FROM ec;");
+  ASSERT_TRUE(third.ok());
+  db::ResultCache::Stats cs = db.cache_stats();
+  EXPECT_GE(cs.evictions, 1u);
+  EXPECT_LE(cs.bytes, cs.budget_bytes);
+  // The coldest entry (ea) is the one that went.
+  Result<exec::QueryResult> again = db.Query("SELECT * FROM ea;");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().stats.cache_misses, 1u);
+}
+
+TEST(ResultCacheTest, SetBudgetShrinksAndClearEmpties) {
+  Database db(Database::Options{Database::Mode::kSimd, 1, 1, 1 << 20});
+  for (const char* name : {"fa", "fb"}) {
+    FillSeries(&db, name, 300);
+    ASSERT_TRUE(db.Query(std::string("SELECT * FROM ") + name + ";").ok());
+  }
+  ASSERT_EQ(db.cache_stats().entries, 2u);
+  db.SetCacheBudget(64);  // smaller than any entry: everything must go
+  EXPECT_EQ(db.cache_stats().entries, 0u);
+  db.SetCacheBudget(1 << 20);
+  ASSERT_TRUE(db.Query("SELECT * FROM fa;").ok());
+  ASSERT_EQ(db.cache_stats().entries, 1u);
+  db.ClearCache();
+  EXPECT_EQ(db.cache_stats().entries, 0u);
+  EXPECT_EQ(db.cache_stats().bytes, 0u);
+}
+
+TEST(ResultCacheTest, ExplainAnalyzeProbesAndRendersServingLayer) {
+  Database db(Database::Options{Database::Mode::kSimd, 1, 2, 1 << 20});
+  FillSeries(&db, "s", 1000);
+  const std::string sql = "SELECT SUM(s) FROM s;";
+  Result<exec::QueryResult> cold = db.Query("EXPLAIN ANALYZE " + sql);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold.value().stats.cache_misses, 1u);
+  EXPECT_NE(cold.value().explain_text.find("serving layer"),
+            std::string::npos);
+  EXPECT_NE(cold.value().explain_text.find("result cache:"),
+            std::string::npos);
+  EXPECT_NE(cold.value().explain_text.find("admission:"), std::string::npos);
+
+  // Populate, then ANALYZE again: it reports the hit but still executes
+  // (the rendered profile below the serving block proves it ran).
+  ASSERT_TRUE(db.Query(sql).ok());
+  Result<exec::QueryResult> warm = db.Query("EXPLAIN ANALYZE " + sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().stats.cache_hits, 1u);
+  EXPECT_GT(warm.value().stats.result_tuples, 0u);
+
+  // The serving counters ride in the stats JSON for tooling.
+  const std::string json = warm.value().stats.ToJson();
+  EXPECT_NE(json.find("\"cache_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"admission_wait_nanos\""), std::string::npos);
+}
+
+// --- Per-shard calibration -------------------------------------------------
+
+TEST(ShardCalibrationTest, CalibrateWritesPerShardCachesAndRecoversCorrupt) {
+  const std::string base = TempPath("db_shard.calib");
+  for (int k = 0; k < 2; ++k) {
+    std::remove(Shard::ArtifactPath(base, k, 2).c_str());
+  }
+  Database db(Database::Options{Database::Mode::kSimd, 1, 2, 0});
+  FillSeries(&db, "g0", 600);
+  FillSeries(&db, "g1", 600);
+  ASSERT_TRUE(db.Calibrate(base).ok());
+  ASSERT_NE(db.calibration(), nullptr);
+  for (int k = 0; k < 2; ++k) {
+    const std::string path = Shard::ArtifactPath(base, k, 2);
+    EXPECT_TRUE(FileExists(path)) << "missing per-shard calibration " << path;
+    EXPECT_TRUE(exec::CostCalibration::LoadFromFile(path).ok()) << path;
+  }
+
+  // Corrupt shard 1's cache: the next Calibrate falls back to shard 0's
+  // sweep for that shard and rewrites a valid file in its place.
+  WriteGarbage(Shard::ArtifactPath(base, 1, 2));
+  ASSERT_FALSE(
+      exec::CostCalibration::LoadFromFile(Shard::ArtifactPath(base, 1, 2))
+          .ok());
+  Database again(Database::Options{Database::Mode::kSimd, 1, 2, 0});
+  FillSeries(&again, "g0", 600);
+  ASSERT_TRUE(again.Calibrate(base).ok());
+  ASSERT_NE(again.calibration(), nullptr);
+  EXPECT_TRUE(
+      exec::CostCalibration::LoadFromFile(Shard::ArtifactPath(base, 1, 2))
+          .ok())
+      << "fallback did not rewrite the corrupt shard cache";
+  EXPECT_GT(SumOf(again, "g0"), 0.0);
+}
+
+TEST(ShardCalibrationTest, CorruptCachesFallBackToStaticModelOnLoad) {
+  const std::string path = TempPath("db_calib_fallback.tsfile");
+  Database writer(Database::Options{Database::Mode::kSimd, 1, 2, 0});
+  std::vector<int64_t> sums;
+  for (int i = 0; i < 4; ++i) {
+    sums.push_back(FillSeries(&writer, "h" + std::to_string(i), 800));
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+  ASSERT_TRUE(writer.Save(path).ok());
+  for (int k = 0; k < 2; ++k) {
+    WriteGarbage(Shard::CalibPath(path, k, 2));
+  }
+  Database reader(Database::Options{Database::Mode::kSimd, 1, 2, 0});
+  ASSERT_TRUE(reader.Load(path).ok());
+  EXPECT_EQ(reader.calibration(), nullptr);  // silent static-model fallback
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(SumOf(reader, "h" + std::to_string(i)),
+              static_cast<double>(sums[i]));
+  }
+}
+
+// --- Facade + file-store race (runs under TSan in CI) ----------------------
+
+TEST(IotDbLiteFacadeTest, PinsOneShardWithCacheOff) {
+  IotDbLite db(IotDbLite::Mode::kSimd, 2);
+  ASSERT_EQ(db.database()->num_shards(), 1);
+  EXPECT_EQ(db.database()->cache_stats().budget_bytes, 0u);
+  ASSERT_TRUE(db.CreateTimeseries("s").ok());
+  ASSERT_TRUE(db.Insert("s", 1, 5).ok());
+  Result<exec::QueryResult> r = db.Query("SELECT SUM(s) FROM s;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().columns[0][0], 5.0);
+}
+
+/// Regression for the engine writer-lock race: OpenFile()/CloseFile() swap
+/// the file store while other threads run Query(). The swap must take the
+/// writer side of the engine lock and wait out in-flight queries; before
+/// the fix a query could execute against a just-reset FileBackedStore.
+TEST(IotDbLiteConcurrencyTest, OpenCloseFileVsQuery) {
+  const std::string path = TempPath("db_openclose_race.tsfile");
+  IotDbLite db(IotDbLite::Mode::kSimd, 2);
+  ASSERT_TRUE(db.CreateTimeseries("s", /*page_size=*/512).ok());
+  std::vector<int64_t> times(4096), values(4096);
+  int64_t sum = 0;
+  for (int i = 0; i < 4096; ++i) {
+    times[i] = i;
+    values[i] = i % 97;
+    sum += values[i];
+  }
+  ASSERT_TRUE(db.InsertBatch("s", times.data(), values.data(), 4096).ok());
+  ASSERT_TRUE(db.Flush().ok());
+  ASSERT_TRUE(db.Save(path).ok());
+
+  constexpr int kClients = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&db, &stop, &failures, sum] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // The sum is identical whether it runs against the in-memory store
+        // or the attached file store — only a race can make it wrong.
+        Result<exec::QueryResult> r = db.Query("SELECT SUM(s) FROM s;");
+        if (!r.ok() || r.value().num_rows() != 1 ||
+            r.value().columns[0][0] != static_cast<double>(sum)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(db.OpenFile(path).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    db.CloseFile();
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace etsqp

@@ -1,31 +1,41 @@
-// etsqp_cli — interactive SQL shell over a TsFile.
+// etsqp_cli — interactive SQL shell over the sharded serving core.
 //
 //   etsqp_cli --demo demo.tsfile     generate a demo TsFile (Table II data)
 //   etsqp_cli <file.tsfile>          open a TsFile and run SQL on it
 //
 // Inside the shell:
-//   .series              list series
+//   .series              list series (with their owning shard)
 //   .stats               execution counters of the last query (per-stage
 //                        breakdown when .profile is on)
 //   .profile [on|off]    collect per-stage ExecStats for every query
 //   .mode simd|scalar    switch the engine (IoTDB-SIMD vs IoTDB)
 //   .threads N           worker threads
+//   .shards N            reshard the database to N shards
+//   .tenant <name>       run subsequent queries as this tenant
+//   .tenants             per-tenant admission counters
+//   .cache               result-cache counters
+//   .cache budget <B>    set the result-cache byte budget (0 = off)
+//   .cache clear         drop every cached result
 //   .pool                process-wide executor pool counters (workers,
 //                        tasks, steals, parks)
 //   .ingest <wal.log>    enable streaming ingest: open + replay the WAL at
-//                        that path, attach it, seal pages in the background
+//                        that path (per shard), attach it, seal pages in
+//                        the background
 //   .ingest              ingest/WAL/seal counters
-//   .checkpoint <file>   flush + save a TsFile + truncate the WAL
-//   .calibrate <file>    load (or measure + save) the scheduler-registry
-//                        cost calibration cache and attach it
+//   .checkpoint <file>   flush + save per-shard TsFiles + truncate the WAL
+//   .calibrate <file>    load (or measure + save) the per-shard
+//                        scheduler-registry cost calibration caches
 //   SELECT ...;          any Table III dialect statement
-//   EXPLAIN [ANALYZE] SELECT ...;   show the compiled Pipe plan
+//   EXPLAIN [ANALYZE] SELECT ...;   show the compiled Pipe plan (ANALYZE
+//                        appends the serving-layer block: shard, cache,
+//                        admission)
 //   .quit
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "db/database.h"
 #include "db/iotdb_lite.h"
 #include "exec/explain.h"
 #include "exec/scheduler_registry.h"
@@ -75,6 +85,13 @@ void PrintResult(const exec::QueryResult& qr, size_t max_rows = 20) {
   }
 }
 
+/// `.cmd arg` -> "arg" (empty when absent).
+std::string ArgOf(const std::string& cmd, size_t prefix_len) {
+  std::string arg = cmd.size() > prefix_len ? cmd.substr(prefix_len) : "";
+  while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+  return arg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,20 +106,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  db::IotDbLite::Mode mode = db::IotDbLite::Mode::kSimd;
-  int threads = 2;
-  db::IotDbLite dbi(mode, threads);
-  Status st = dbi.Load(argv[1]);
+  db::Database::Options options;
+  options.mode = db::Database::Mode::kSimd;
+  options.threads = 2;
+  options.shards = 1;
+  options.cache_budget_bytes = 16 << 20;  // interactive default: cache on
+  db::Database dbx(options);
+  Status st = dbx.Load(argv[1]);
   if (!st.ok()) {
     std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("opened %s (%zu series). Type .series, SQL, or .quit\n",
-              argv[1], dbi.store()->SeriesNames().size());
+  size_t series_count = 0;
+  for (int k = 0; k < dbx.num_shards(); ++k) {
+    series_count += dbx.shard_store(k)->SeriesNames().size();
+  }
+  std::printf("opened %s (%zu series, %d shard%s). Type .series, SQL, or "
+              ".quit\n",
+              argv[1], series_count, dbx.num_shards(),
+              dbx.num_shards() == 1 ? "" : "s");
 
+  std::string tenant = "default";
   exec::QueryStats last_stats;
   char line[1024];
-  while (std::printf("etsqp> "), std::fflush(stdout),
+  while (std::printf("etsqp[%s]> ", tenant.c_str()), std::fflush(stdout),
          std::fgets(line, sizeof(line), stdin) != nullptr) {
     std::string cmd(line);
     while (!cmd.empty() && (cmd.back() == '\n' || cmd.back() == ' ')) {
@@ -111,13 +138,17 @@ int main(int argc, char** argv) {
     if (cmd.empty()) continue;
     if (cmd == ".quit" || cmd == ".exit") break;
     if (cmd == ".series") {
-      for (const std::string& name : dbi.store()->SeriesNames()) {
-        auto s = dbi.store()->GetSeries(name);
-        std::printf("  %-30s %10llu points %10llu bytes\n", name.c_str(),
-                    static_cast<unsigned long long>(
-                        s.value()->total_points),
-                    static_cast<unsigned long long>(
-                        dbi.store()->EncodedBytes(name)));
+      for (int k = 0; k < dbx.num_shards(); ++k) {
+        const storage::SeriesStore& store = *dbx.shard_store(k);
+        for (const std::string& name : store.SeriesNames()) {
+          auto s = store.GetSeries(name);
+          std::printf("  %-30s shard %-3d %10llu points %10llu bytes\n",
+                      name.c_str(), k,
+                      static_cast<unsigned long long>(
+                          s.value()->total_points),
+                      static_cast<unsigned long long>(
+                          store.EncodedBytes(name)));
+        }
       }
       continue;
     }
@@ -140,28 +171,27 @@ int main(int argc, char** argv) {
       continue;
     }
     if (cmd.rfind(".ingest", 0) == 0) {
-      std::string arg = cmd.size() > 7 ? cmd.substr(7) : "";
-      while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+      std::string arg = ArgOf(cmd, 7);
       if (!arg.empty()) {
-        db::IotDbLite::IngestConfig cfg;
+        db::Database::IngestConfig cfg;
         cfg.wal_path = arg;
         cfg.background_seal = true;
-        Status ist = dbi.EnableIngest(cfg);
+        Status ist = dbx.EnableIngest(cfg);
         if (!ist.ok()) {
           std::printf("error: %s\n", ist.ToString().c_str());
           continue;
         }
-        const storage::Wal::ReplayStats& rec = dbi.last_recovery();
+        const storage::Wal::ReplayStats& rec = dbx.last_recovery();
         std::printf(
-            "ingest on: WAL %s (recovered %llu records / %llu points, "
-            "dropped %llu), background sealing enabled\n",
-            arg.c_str(),
+            "ingest on: WAL %s x%d shard%s (recovered %llu records / %llu "
+            "points, dropped %llu), background sealing enabled\n",
+            arg.c_str(), dbx.num_shards(), dbx.num_shards() == 1 ? "" : "s",
             static_cast<unsigned long long>(rec.records_applied),
             static_cast<unsigned long long>(rec.points_applied),
             static_cast<unsigned long long>(rec.records_dropped));
         continue;
       }
-      metrics::IngestStats is = dbi.ingest_stats();
+      metrics::IngestStats is = dbx.ingest_stats();
       std::printf(
           "ingest: points=%llu batches=%llu rejected=%llu tail=%llu\n"
           "seal:   pages=%llu background=%llu time=%.3f ms\n"
@@ -184,29 +214,28 @@ int main(int argc, char** argv) {
       continue;
     }
     if (cmd.rfind(".checkpoint", 0) == 0) {
-      std::string arg = cmd.size() > 11 ? cmd.substr(11) : "";
-      while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+      std::string arg = ArgOf(cmd, 11);
       if (arg.empty()) {
         std::printf("usage: .checkpoint <file.tsfile>\n");
         continue;
       }
-      Status cst = dbi.Checkpoint(arg);
+      Status cst = dbx.Checkpoint(arg);
       std::printf("%s\n", cst.ok() ? ("checkpointed to " + arg).c_str()
                                    : cst.ToString().c_str());
       continue;
     }
     if (cmd.rfind(".calibrate", 0) == 0) {
-      std::string arg = cmd.size() > 10 ? cmd.substr(10) : "";
-      while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+      std::string arg = ArgOf(cmd, 10);
       if (arg.empty()) {
         std::printf("usage: .calibrate <file.calib>\n");
         continue;
       }
-      Status cst = dbi.Calibrate(arg);
+      Status cst = dbx.Calibrate(arg);
       if (cst.ok()) {
-        std::printf("calibration attached: %s (%zu measured costs)\n",
-                    arg.c_str(),
-                    dbi.calibration() ? dbi.calibration()->size() : 0);
+        std::printf(
+            "calibration attached: %s x%d shard%s (%zu measured costs)\n",
+            arg.c_str(), dbx.num_shards(), dbx.num_shards() == 1 ? "" : "s",
+            dbx.calibration() ? dbx.calibration()->size() : 0);
       } else {
         std::printf("error: %s\n", cst.ToString().c_str());
       }
@@ -214,26 +243,90 @@ int main(int argc, char** argv) {
     }
     if (cmd.rfind(".profile", 0) == 0) {
       bool on = cmd.find("off") == std::string::npos;
-      dbi.SetCollectStats(on);
+      dbx.SetCollectStats(on);
       std::printf("profile: %s\n", on ? "on" : "off");
       continue;
     }
     if (cmd.rfind(".mode", 0) == 0) {
-      mode = cmd.find("scalar") != std::string::npos
-                 ? db::IotDbLite::Mode::kScalar
-                 : db::IotDbLite::Mode::kSimd;
-      dbi.SetMode(mode);
-      std::printf("engine: %s\n",
-                  mode == db::IotDbLite::Mode::kSimd ? "IoTDB-SIMD" : "IoTDB");
+      db::Database::Mode mode = cmd.find("scalar") != std::string::npos
+                                    ? db::Database::Mode::kScalar
+                                    : db::Database::Mode::kSimd;
+      dbx.SetMode(mode);
+      std::printf("engine: %s\n", mode == db::Database::Mode::kSimd
+                                      ? "IoTDB-SIMD"
+                                      : "IoTDB");
       continue;
     }
     if (cmd.rfind(".threads", 0) == 0) {
-      threads = std::max(1, std::atoi(cmd.c_str() + 8));
-      dbi.SetThreads(threads);
-      std::printf("threads: %d\n", threads);
+      dbx.SetThreads(std::max(1, std::atoi(cmd.c_str() + 8)));
+      std::printf("threads: %d\n", dbx.threads());
       continue;
     }
-    auto result = dbi.Query(cmd);
+    if (cmd.rfind(".shards", 0) == 0) {
+      int n = std::atoi(cmd.c_str() + 7);
+      if (n < 1) {
+        std::printf("usage: .shards N  (N >= 1)\n");
+        continue;
+      }
+      Status rst = dbx.Reshard(n);
+      if (rst.ok()) {
+        std::printf("resharded to %d shard%s\n", dbx.num_shards(),
+                    dbx.num_shards() == 1 ? "" : "s");
+      } else {
+        std::printf("error: %s\n", rst.ToString().c_str());
+      }
+      continue;
+    }
+    if (cmd == ".tenants") {
+      for (const auto& [name, ts] : dbx.tenant_stats()) {
+        std::printf(
+            "  %-16s admitted=%llu rejected(queue=%llu, memory=%llu) "
+            "waited=%.3f ms active=%d queued=%d\n",
+            name.c_str(), static_cast<unsigned long long>(ts.admitted),
+            static_cast<unsigned long long>(ts.rejected_queue),
+            static_cast<unsigned long long>(ts.rejected_memory),
+            static_cast<double>(ts.wait_nanos) / 1e6, ts.active, ts.queued);
+      }
+      continue;
+    }
+    if (cmd.rfind(".tenant", 0) == 0) {
+      std::string arg = ArgOf(cmd, 7);
+      if (arg.empty()) {
+        std::printf("tenant: %s\n", tenant.c_str());
+        continue;
+      }
+      tenant = arg;
+      std::printf("tenant: %s\n", tenant.c_str());
+      continue;
+    }
+    if (cmd.rfind(".cache", 0) == 0) {
+      std::string arg = ArgOf(cmd, 6);
+      if (arg == "clear") {
+        dbx.ClearCache();
+        std::printf("cache cleared\n");
+        continue;
+      }
+      if (arg.rfind("budget", 0) == 0) {
+        dbx.SetCacheBudget(static_cast<size_t>(
+            std::strtoull(ArgOf(arg, 6).c_str(), nullptr, 10)));
+      } else if (!arg.empty()) {
+        std::printf("usage: .cache | .cache budget <bytes> | .cache clear\n");
+        continue;
+      }
+      db::ResultCache::Stats cs = dbx.cache_stats();
+      std::printf(
+          "cache: hits=%llu misses=%llu evictions=%llu entries=%llu "
+          "bytes=%llu/%llu%s\n",
+          static_cast<unsigned long long>(cs.hits),
+          static_cast<unsigned long long>(cs.misses),
+          static_cast<unsigned long long>(cs.evictions),
+          static_cast<unsigned long long>(cs.entries),
+          static_cast<unsigned long long>(cs.bytes),
+          static_cast<unsigned long long>(cs.budget_bytes),
+          cs.budget_bytes == 0 ? " (off)" : "");
+      continue;
+    }
+    auto result = dbx.Query(tenant, cmd);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
