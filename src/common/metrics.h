@@ -123,6 +123,9 @@ struct IngestStats {
   uint64_t background_seals = 0;  // subset sealed on the thread pool
   uint64_t seal_nanos = 0;        // wall time inside page encoding
   uint64_t tail_points = 0;       // gauge: buffered + pending-seal points
+  uint64_t ooo_points = 0;        // late points accepted into overlap buffers
+  uint64_t ooo_pending = 0;       // gauge: buffered, not yet reconciled
+  uint64_t delete_ranges = 0;     // tombstones recorded (DeleteRange calls)
   uint64_t wal_records = 0;       // WAL appends since WAL open
   uint64_t wal_bytes = 0;
   uint64_t wal_fsyncs = 0;
@@ -130,6 +133,42 @@ struct IngestStats {
   uint64_t recovered_records = 0;  // replayed at the last Recover
   uint64_t recovered_points = 0;
   uint64_t dropped_wal_records = 0;  // torn/corrupt tail records dropped
+};
+
+/// Background-compaction counters (storage::Compactor), cumulative across
+/// passes. `bytes_in`/`bytes_out` are the encoded payload bytes of the pages
+/// a rewrite consumed/produced — the storage-size win of a pass is
+/// 1 - bytes_out/bytes_in. Surfaced by the CLI `.stats` and in the EXPLAIN
+/// ANALYZE serving-layer profile.
+struct CompactionStats {
+  uint64_t runs = 0;              // compaction passes completed
+  uint64_t series_compacted = 0;  // series whose page list was rewritten
+  uint64_t pages_in = 0;          // sealed pages consumed by rewrites
+  uint64_t pages_out = 0;         // pages produced (merge => out < in)
+  uint64_t pages_reencoded = 0;   // outputs whose value codec changed
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t deleted_points_dropped = 0;  // tombstone/TTL points removed
+  uint64_t tombstones_resolved = 0;     // ranges physically applied
+  uint64_t ooo_points_merged = 0;       // overlap-buffer points reconciled
+  uint64_t installs_aborted = 0;        // lost the install race, work dropped
+  uint64_t nanos = 0;                   // wall time inside compaction passes
+
+  void Merge(const CompactionStats& o) {
+    runs += o.runs;
+    series_compacted += o.series_compacted;
+    pages_in += o.pages_in;
+    pages_out += o.pages_out;
+    pages_reencoded += o.pages_reencoded;
+    bytes_in += o.bytes_in;
+    bytes_out += o.bytes_out;
+    deleted_points_dropped += o.deleted_points_dropped;
+    tombstones_resolved += o.tombstones_resolved;
+    ooo_points_merged += o.ooo_points_merged;
+    installs_aborted += o.installs_aborted;
+    nanos += o.nanos;
+  }
+  bool empty() const { return runs == 0 && installs_aborted == 0; }
 };
 
 /// Monotonic timestamp in nanoseconds (steady clock).

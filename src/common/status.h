@@ -22,6 +22,8 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kResourceExhausted,  // admission control: tenant queue/memory budget hit
+  kFailedPrecondition,  // operation needs state the caller does not hold
+  kAborted,             // optimistic operation lost its race; retryable
 };
 
 /// Returns a stable human-readable name for `code` ("Ok", "Corruption", ...).
@@ -62,6 +64,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

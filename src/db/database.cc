@@ -52,6 +52,25 @@ struct AdmissionTicket {
   uint64_t queue_depth = 0;
 };
 
+/// Decode-cost tie-break for the CodecAdvisor: the minimum calibrated
+/// ns/tuple any scheduler entry measured over pages of this encoding
+/// (calibration keys are "entry|ENCNAME/w<bucket>"). 0 = no measurement,
+/// which the advisor treats as "no preference".
+storage::CodecAdvisor::CostHook MakeCostHook(
+    std::shared_ptr<const exec::CostCalibration> cal) {
+  if (cal == nullptr) return nullptr;
+  return [cal](enc::ColumnEncoding encoding, bool /*is_float*/) -> double {
+    const std::string needle =
+        std::string("|") + enc::ColumnEncodingName(encoding) + "/w";
+    double best = 0;
+    for (const auto& [key, ns] : cal->costs()) {
+      if (key.find(needle) == std::string::npos) continue;
+      if (best == 0 || ns < best) best = ns;
+    }
+    return best;
+  };
+}
+
 }  // namespace
 
 struct Database::Rep {
@@ -244,6 +263,20 @@ struct Database::Rep {
                   static_cast<double>(out->stats.admission_wait_nanos) / 1e6,
                   out->stats.admission_queue_depth);
     out->explain_text += buf;
+    metrics::CompactionStats comp;
+    for (const auto& shard : shards) {
+      if (shard->compactor != nullptr) comp.Merge(shard->compactor->stats());
+    }
+    if (!comp.empty()) {
+      std::snprintf(buf, sizeof(buf),
+                    "compaction: runs=%" PRIu64 " pages %" PRIu64 "->%" PRIu64
+                    " (reencoded=%" PRIu64 ") bytes %" PRIu64 "->%" PRIu64
+                    " dropped=%" PRIu64 " ooo_merged=%" PRIu64 "\n",
+                    comp.runs, comp.pages_in, comp.pages_out,
+                    comp.pages_reencoded, comp.bytes_in, comp.bytes_out,
+                    comp.deleted_points_dropped, comp.ooo_points_merged);
+      out->explain_text += buf;
+    }
   }
 };
 
@@ -304,6 +337,89 @@ Status Database::Flush() {
     ETSQP_RETURN_IF_ERROR(shard->store.Flush());
   }
   return Status::Ok();
+}
+
+Status Database::EnableCompaction(const CompactionConfig& config) {
+  Rep* rep = rep_.get();
+  std::unique_lock<std::shared_mutex> lock(rep->engine_mu);
+  if (config.auto_trigger_pages > 0 && rep->seal_group == nullptr) {
+    rep->seal_group = std::make_unique<exec::TaskGroup>();
+  }
+  for (auto& shard : rep->shards) {
+    storage::CompactionOptions opts = config.options;
+    if (!opts.cost_hook) opts.cost_hook = MakeCostHook(shard->calibration);
+    shard->compactor =
+        std::make_unique<storage::Compactor>(&shard->store, std::move(opts));
+    if (config.auto_trigger_pages > 0) {
+      exec::TaskGroup* group = rep->seal_group.get();
+      Shard* s = shard.get();
+      shard->store.SetCompactionTrigger(
+          config.auto_trigger_pages, [group, s] {
+            // Fires under the store lock: only schedule, never compact
+            // inline. One queued pass per shard at a time — bursts of page
+            // installs collapse onto the already-scheduled pass.
+            bool expected = false;
+            if (!s->compact_scheduled.compare_exchange_strong(expected,
+                                                              true)) {
+              return;
+            }
+            group->Submit([s] {
+              s->compact_scheduled.store(false);
+              (void)s->compactor->CompactAll();
+            });
+          });
+    } else {
+      shard->store.SetCompactionTrigger(0, nullptr);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Database::Compact(int shard) {
+  Rep* rep = rep_.get();
+  std::shared_lock<std::shared_mutex> lock(rep->engine_mu);
+  const int n = rep->router.num_shards();
+  if (shard >= n) {
+    return Status::InvalidArgument("no shard " + std::to_string(shard));
+  }
+  for (const auto& s : rep->shards) {
+    if (s->compactor == nullptr) {
+      return Status::FailedPrecondition("call EnableCompaction first");
+    }
+  }
+  if (shard >= 0) return rep->shards[shard]->compactor->CompactAll();
+  if (n == 1) return rep->shards[0]->compactor->CompactAll();
+  // Fan out one pass per shard on the shared pool; queries keep running
+  // (compaction takes the store lock only to capture and to install).
+  exec::TaskGroup group;
+  std::vector<Status> results(n);
+  for (int k = 0; k < n; ++k) {
+    Shard* s = rep->shards[k].get();
+    Status* out = &results[k];
+    group.Submit([s, out] { *out = s->compactor->CompactAll(); });
+  }
+  group.Wait();
+  for (const Status& st : results) {
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+Status Database::DeleteRange(const std::string& name, int64_t t0,
+                             int64_t t1) {
+  return rep_->ShardFor(name).store.DeleteRange(name, t0, t1);
+}
+
+Status Database::SetTtl(const std::string& name, int64_t ttl_nanos) {
+  return rep_->ShardFor(name).store.SetTtl(name, ttl_nanos);
+}
+
+metrics::CompactionStats Database::compaction_stats() const {
+  metrics::CompactionStats total;
+  for (const auto& shard : rep_->shards) {
+    if (shard->compactor != nullptr) total.Merge(shard->compactor->stats());
+  }
+  return total;
 }
 
 Status Database::EnableIngest(const IngestConfig& config) {
@@ -391,6 +507,9 @@ metrics::IngestStats Database::ingest_stats() const {
     total.recovered_records += s.recovered_records;
     total.recovered_points += s.recovered_points;
     total.dropped_wal_records += s.dropped_wal_records;
+    total.ooo_points += s.ooo_points;
+    total.ooo_pending += s.ooo_pending;
+    total.delete_ranges += s.delete_ranges;
   }
   return total;
 }
@@ -580,6 +699,15 @@ Status Database::Load(const std::string& path) {
     for (const auto& page : s.value()->pages) {
       ETSQP_RETURN_IF_ERROR(shard.store.AddPageShared(name, page));
     }
+    // Carry the v2 compaction metadata (tombstones, TTL, overlap buffer,
+    // append-sequence fence) across the redistribution.
+    const storage::SeriesStore::Series* src = s.value();
+    if (!src->tombstones.empty() || src->ttl_nanos != 0 ||
+        !src->ooo_times.empty() || src->appended_points != src->total_points) {
+      ETSQP_RETURN_IF_ERROR(shard.store.RestoreSeriesMeta(
+          name, src->appended_points, src->ttl_nanos, src->tombstones,
+          src->ooo_times, src->ooo_values, src->ooo_values_f64));
+    }
   }
   return Status::Ok();
 }
@@ -747,10 +875,20 @@ Status Database::Reshard(int num_shards) {
   // Seal every tail so series move as immutable pages only.
   ETSQP_RETURN_IF_ERROR(Flush());
   std::unique_lock<std::shared_mutex> lock(rep->engine_mu);
+  // Old shards (and their compactors / triggers) are about to be destroyed;
+  // wait out any queued background passes that still reference them.
+  if (rep->seal_group != nullptr) rep->seal_group->Wait();
   struct Moved {
     std::string name;
     storage::SeriesStore::SeriesOptions options;
     std::vector<std::shared_ptr<const storage::Page>> pages;
+    uint64_t appended_points = 0;
+    uint64_t total_points = 0;
+    int64_t ttl_nanos = 0;
+    std::vector<storage::TimeInterval> tombstones;
+    std::vector<int64_t> ooo_times;
+    std::vector<int64_t> ooo_values;
+    std::vector<double> ooo_values_f64;
   };
   std::vector<Moved> moved;
   for (auto& shard : rep->shards) {
@@ -758,7 +896,10 @@ Status Database::Reshard(int num_shards) {
       Result<const storage::SeriesStore::Series*> s =
           shard->store.GetSeries(name);
       if (!s.ok()) return s.status();
-      moved.push_back({name, s.value()->options, s.value()->pages});
+      const storage::SeriesStore::Series* src = s.value();
+      moved.push_back({name, src->options, src->pages, src->appended_points,
+                       src->total_points, src->ttl_nanos, src->tombstones,
+                       src->ooo_times, src->ooo_values, src->ooo_values_f64});
     }
   }
   rep->router = ShardRouter(num_shards);
@@ -771,6 +912,12 @@ Status Database::Reshard(int num_shards) {
     ETSQP_RETURN_IF_ERROR(shard.store.CreateSeries(m.name, m.options));
     for (const auto& page : m.pages) {
       ETSQP_RETURN_IF_ERROR(shard.store.AddPageShared(m.name, page));
+    }
+    if (!m.tombstones.empty() || m.ttl_nanos != 0 || !m.ooo_times.empty() ||
+        m.appended_points != m.total_points) {
+      ETSQP_RETURN_IF_ERROR(shard.store.RestoreSeriesMeta(
+          m.name, m.appended_points, m.ttl_nanos, m.tombstones, m.ooo_times,
+          m.ooo_values, m.ooo_values_f64));
     }
   }
   rep->RebuildEnginesLocked();

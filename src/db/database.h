@@ -111,6 +111,33 @@ class Database {
                         const double* values, size_t n);
   Status Flush();
 
+  /// Background compaction configuration: per-page adaptive re-encoding
+  /// options plus the auto-trigger cadence.
+  struct CompactionConfig {
+    storage::CompactionOptions options;
+    /// Schedule a background CompactAll on a shard after this many newly
+    /// installed pages there; 0 = manual Compact() only. Auto-triggered
+    /// passes run on the shared work-stealing pool.
+    uint32_t auto_trigger_pages = 0;
+  };
+
+  /// Builds each shard's Compactor. When the shard has a calibration cache,
+  /// the CodecAdvisor's tie-break cost hook is wired from it (measured
+  /// decode ns/tuple per encoding), so re-encoding choices respect what
+  /// this machine actually decodes fastest.
+  Status EnableCompaction(const CompactionConfig& config);
+  Status EnableCompaction() { return EnableCompaction(CompactionConfig()); }
+  /// One synchronous compaction pass: every shard (`shard` = -1, passes fan
+  /// out in parallel on the pool) or just one. Requires EnableCompaction.
+  Status Compact(int shard = -1);
+  /// Marks [t0, t1] of `name` deleted (tombstone): masked at query time,
+  /// physically dropped at the next compaction pass.
+  Status DeleteRange(const std::string& name, int64_t t0, int64_t t1);
+  /// Points older than `last_time - ttl_nanos` are masked (0 disables).
+  Status SetTtl(const std::string& name, int64_t ttl_nanos);
+  /// Compaction counters summed across shards; empty() when disabled.
+  metrics::CompactionStats compaction_stats() const;
+
   Status EnableIngest(const IngestConfig& config);
   /// Flush + per-shard TsFile + WAL truncation (see IotDbLite::Checkpoint).
   Status Checkpoint(const std::string& path);

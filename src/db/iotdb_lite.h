@@ -96,6 +96,25 @@ class IotDbLite {
     db_.TestingFailBeforeWalTruncate(on);
   }
 
+  /// Background compaction with adaptive per-page re-encoding; see
+  /// Database::EnableCompaction.
+  using CompactionConfig = Database::CompactionConfig;
+  Status EnableCompaction(const CompactionConfig& config = CompactionConfig()) {
+    return db_.EnableCompaction(config);
+  }
+  Status Compact() { return db_.Compact(); }
+  /// Tombstones a time range / sets a retention TTL; masked at query time,
+  /// physically dropped by the next compaction pass.
+  Status DeleteRange(const std::string& name, int64_t t0, int64_t t1) {
+    return db_.DeleteRange(name, t0, t1);
+  }
+  Status SetTtl(const std::string& name, int64_t ttl_nanos) {
+    return db_.SetTtl(name, ttl_nanos);
+  }
+  metrics::CompactionStats compaction_stats() const {
+    return db_.compaction_stats();
+  }
+
   /// Ingest/WAL/seal counters (docs/OBSERVABILITY.md).
   metrics::IngestStats ingest_stats() const { return db_.ingest_stats(); }
   /// What the last EnableIngest recovery pass did (zeros before/without).

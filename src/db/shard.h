@@ -1,12 +1,14 @@
 #ifndef ETSQP_DB_SHARD_H_
 #define ETSQP_DB_SHARD_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
 #include "exec/engine.h"
 #include "exec/scheduler_registry.h"
 #include "storage/buffer_manager.h"
+#include "storage/compaction.h"
 #include "storage/series_store.h"
 #include "storage/wal.h"
 
@@ -40,6 +42,11 @@ struct Shard {
   std::unique_ptr<exec::Engine> engine;
   /// What this shard's last EnableIngest recovery pass replayed.
   storage::Wal::ReplayStats last_recovery;
+  /// Background compaction service (EnableCompaction); null = disabled.
+  std::unique_ptr<storage::Compactor> compactor;
+  /// Collapses bursts of install-trigger firings into one queued CompactAll
+  /// per shard: set on schedule, cleared when the pass starts.
+  std::atomic<bool> compact_scheduled{false};
 
   /// `<base>` for a 1-shard database, `<base>.shard<k>` otherwise.
   static std::string ArtifactPath(const std::string& base, int shard,

@@ -15,6 +15,7 @@
 #include "exec/pipeline_job.h"
 #include "exec/tail_kernel.h"
 #include "simd/filter_simd.h"
+#include "storage/page_builder.h"
 
 namespace etsqp::exec {
 
@@ -101,6 +102,52 @@ struct Materialized {
   std::vector<int64_t> values;
 };
 
+/// Decodes a tombstone-masked page in full and drops deleted timestamps in
+/// place. Survivors drain through the scalar tail kernels — correctness
+/// over speed on the (transient) partially deleted page; the next
+/// compaction pass erases the mask and restores the vectorized path.
+Status DecodeMaskedPage(const storage::Page& page,
+                        const std::vector<storage::TimeInterval>& tombstones,
+                        bool is_float, std::vector<int64_t>* times,
+                        std::vector<int64_t>* values,
+                        std::vector<double>* values_f64, uint64_t* dropped) {
+  const uint32_t n = page.header.count;
+  times->resize(n);
+  ETSQP_RETURN_IF_ERROR(storage::DecodePageColumn(
+      page.time_data, page.header.time_encoding, n, times->data()));
+  if (is_float) {
+    values_f64->resize(n);
+    ETSQP_RETURN_IF_ERROR(storage::DecodePageColumnF64(
+        page.value_data, page.header.value_encoding, n, values_f64->data()));
+  } else {
+    values->resize(n);
+    ETSQP_RETURN_IF_ERROR(storage::DecodePageColumn(
+        page.value_data, page.header.value_encoding, n, values->data()));
+  }
+  // Two-pointer filter: page times ascend, tombstones are sorted/disjoint.
+  size_t w = 0, ti = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t t = (*times)[i];
+    while (ti < tombstones.size() && tombstones[ti].hi < t) ++ti;
+    if (ti < tombstones.size() && t >= tombstones[ti].lo) continue;
+    (*times)[w] = t;
+    if (is_float) {
+      (*values_f64)[w] = (*values_f64)[i];
+    } else {
+      (*values)[w] = (*values)[i];
+    }
+    ++w;
+  }
+  *dropped += n - w;
+  times->resize(w);
+  if (is_float) {
+    values_f64->resize(w);
+  } else {
+    values->resize(w);
+  }
+  return Status::Ok();
+}
+
 /// Runs MaterializeSlice jobs (plus the scalar tail legs) for one plan and
 /// returns per-input tuple streams in time order.
 Status MaterializeInputs(const LogicalPlan& plan,
@@ -128,6 +175,24 @@ Status MaterializeInputs(const LogicalPlan& plan,
                            snap.tail_times.size(), plan.time_filter,
                            plan.value_filter, sched.options, &locals[i].times,
                            &locals[i].values, &job_stats[i]);
+    } else if (job.masked) {
+      if (snap.is_float) {
+        return Status::NotSupported("materialize on masked float series");
+      }
+      std::vector<int64_t> mt, mv;
+      std::vector<double> mfv;
+      uint64_t dropped = 0;
+      st = DecodeMaskedPage(*snap.pages[job.page_index], snap.tombstones,
+                            false, &mt, &mv, &mfv, &dropped);
+      if (st.ok()) {
+        st = TailMaterialize(mt.data(), mv.data(), mt.size(),
+                             plan.time_filter, plan.value_filter,
+                             sched.options, &locals[i].times,
+                             &locals[i].values, &job_stats[i]);
+      }
+      job_stats[i].tail_tuples_scanned = 0;  // page tuples, not tail tuples
+      job_stats[i].tuples_scanned += dropped;
+      job_stats[i].deleted_tuples_masked += dropped;
     } else {
       const storage::Page& page = *snap.pages[job.page_index];
       st = MaterializeSlice(page, job.begin, job.end, plan.time_filter,
@@ -374,6 +439,36 @@ Result<QueryResult> Engine::ExecuteAggregate(const LogicalPlan& plan,
                            plan.value_filter, plan.func, sched.options,
                            &local, &local_stats);
       }
+    } else if (job.masked) {
+      // Tombstone-masked page: decode, drop deleted timestamps, drain the
+      // survivors through the scalar kernels.
+      std::vector<int64_t> mt, mv;
+      std::vector<double> mfv;
+      uint64_t dropped = 0;
+      st = DecodeMaskedPage(*pages[job.page_index], snap.tombstones, is_float,
+                            &mt, &mv, &mfv, &dropped);
+      if (st.ok()) {
+        if (is_float && plan.window.active) {
+          st = TailAggregateWindowsF64(mt.data(), mfv.data(), mt.size(),
+                                       plan.window, plan.func, sched.options,
+                                       &local_fwindows, &local_stats);
+        } else if (is_float) {
+          st = TailAggregateF64(mt.data(), mfv.data(), mt.size(),
+                                plan.time_filter, plan.value_filter, plan.func,
+                                sched.options, &flocal, &local_stats);
+        } else if (plan.window.active) {
+          st = TailAggregateWindows(mt.data(), mv.data(), mt.size(),
+                                    plan.window, plan.func, sched.options,
+                                    &local_windows, &local_stats);
+        } else {
+          st = TailAggregate(mt.data(), mv.data(), mt.size(), plan.time_filter,
+                             plan.value_filter, plan.func, sched.options,
+                             &local, &local_stats);
+        }
+      }
+      local_stats.tail_tuples_scanned = 0;  // page tuples, not tail tuples
+      local_stats.tuples_scanned += dropped;
+      local_stats.deleted_tuples_masked += dropped;
     } else {
       const storage::Page& page = *pages[job.page_index];
       if (is_float && plan.window.active) {
@@ -602,6 +697,8 @@ struct CorrAccum {
 bool FusedCorrApplies(const storage::SeriesSnapshot& a,
                       const storage::SeriesSnapshot& b) {
   if (a.has_tail() || b.has_tail()) return false;
+  // Tombstones invalidate the closed-form sums; the general path masks.
+  if (!a.tombstones.empty() || !b.tombstones.empty()) return false;
   if (a.pages.size() != b.pages.size()) return false;
   for (size_t p = 0; p < a.pages.size(); ++p) {
     const storage::PageHeader& ha = a.pages[p]->header;

@@ -172,6 +172,11 @@ std::string RenderStats(const ExecStats& stats) {
     Appendf(&out, "tail: tuples=%" PRIu64 " scanned=%" PRIu64 "\n",
             stats.tail_tuples, stats.tail_tuples_scanned);
   }
+  if (stats.pages_pruned_deleted > 0 || stats.deleted_tuples_masked > 0) {
+    Appendf(&out,
+            "deletes: pages_pruned=%" PRIu64 " tuples_masked=%" PRIu64 "\n",
+            stats.pages_pruned_deleted, stats.deleted_tuples_masked);
+  }
   Appendf(&out, "bytes loaded: %" PRIu64 "\n", stats.bytes_loaded);
   if (stats.cache_hits + stats.cache_misses + stats.cache_evictions > 0) {
     Appendf(&out,

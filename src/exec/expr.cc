@@ -48,6 +48,8 @@ std::string ExecStats::ToJson() const {
   AppendField(&out, "result_tuples", result_tuples, &first);
   AppendField(&out, "tail_tuples", tail_tuples, &first);
   AppendField(&out, "tail_tuples_scanned", tail_tuples_scanned, &first);
+  AppendField(&out, "pages_pruned_deleted", pages_pruned_deleted, &first);
+  AppendField(&out, "deleted_tuples_masked", deleted_tuples_masked, &first);
   AppendField(&out, "wall_nanos", wall_nanos, &first);
   AppendField(&out, "threads", static_cast<uint64_t>(threads > 0 ? threads : 0),
               &first);

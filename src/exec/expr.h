@@ -155,6 +155,12 @@ struct ExecStats {
   // (also included in tuples_scanned, which stays the grand total).
   uint64_t tail_tuples = 0;
   uint64_t tail_tuples_scanned = 0;
+  // Delete/TTL masking (storage tombstones): pages skipped at planning time
+  // because a tombstone covers their whole time range, and tuples dropped by
+  // the masked drain of partially covered pages. Tail points never appear
+  // here — snapshots pre-filter the tail.
+  uint64_t pages_pruned_deleted = 0;
+  uint64_t deleted_tuples_masked = 0;
 
   // Populated only under collect_stats.
   metrics::StageBreakdown stages;  // summed across jobs/threads
@@ -196,6 +202,8 @@ struct ExecStats {
     result_tuples += o.result_tuples;
     tail_tuples += o.tail_tuples;
     tail_tuples_scanned += o.tail_tuples_scanned;
+    pages_pruned_deleted += o.pages_pruned_deleted;
+    deleted_tuples_masked += o.deleted_tuples_masked;
     stages.Merge(o.stages);
     if (o.wall_nanos > wall_nanos) wall_nanos = o.wall_nanos;
     if (o.threads > threads) threads = o.threads;

@@ -45,10 +45,14 @@ TimeRange EffectiveTimeRange(const LogicalPlan& plan) {
 }
 
 /// Collects the non-pruned page indices and counts of one input snapshot.
+/// A page whose whole [min_time, max_time] sits inside a tombstone is
+/// pruned like a header miss; a partially covered page survives but is
+/// flagged masked (scalar drain with per-tuple tombstone filtering).
 void CollectPages(const storage::SeriesSnapshot& snap,
                   const TimeRange& trange, const ValueRange& vrange,
                   bool prune_values, std::vector<size_t>* page_indices,
-                  std::vector<size_t>* page_counts, QueryStats* stats) {
+                  std::vector<size_t>* page_counts,
+                  std::vector<char>* page_masked, QueryStats* stats) {
   const auto& pages = snap.pages;
   for (size_t p = 0; p < pages.size(); ++p) {
     const storage::PageHeader& h = pages[p]->header;
@@ -58,7 +62,19 @@ void CollectPages(const storage::SeriesSnapshot& snap,
       ++stats->pages_pruned;
       continue;
     }
-    if (prune_values && vrange.active &&
+    bool masked = false;
+    if (!snap.tombstones.empty() &&
+        storage::IntervalsOverlap(snap.tombstones, h.min_time, h.max_time)) {
+      if (storage::IntervalsCover(snap.tombstones, h.min_time, h.max_time)) {
+        ++stats->pages_pruned;
+        ++stats->pages_pruned_deleted;
+        continue;
+      }
+      masked = true;
+    }
+    // Header value stats are not valid filters on a masked page: the
+    // surviving (non-deleted) subset may have a tighter range.
+    if (!masked && prune_values && vrange.active &&
         (h.max_value < vrange.lo || h.min_value > vrange.hi)) {
       ++stats->pages_pruned;
       continue;
@@ -66,6 +82,7 @@ void CollectPages(const storage::SeriesSnapshot& snap,
     stats->bytes_loaded += pages[p]->encoded_bytes();
     page_indices->push_back(p);
     page_counts->push_back(h.count);
+    page_masked->push_back(masked ? 1 : 0);
   }
 }
 
@@ -129,22 +146,47 @@ Result<PipelineSpec> BuildPipeline(
     const storage::SeriesSnapshot& snap = inputs[in];
     std::vector<size_t> page_indices;
     std::vector<size_t> page_counts;
+    std::vector<char> page_masked;
     CollectPages(snap, trange, plan.value_filter, options.prune,
-                 &page_indices, &page_counts, &spec.plan_stats);
-    // Registry lookup per surviving page (memoized per page class).
+                 &page_indices, &page_counts, &page_masked, &spec.plan_stats);
+    // Registry lookup per surviving page (memoized per page class). Masked
+    // pages bypass the registry — they drain through the scalar masked
+    // path, not a vectorized kernel.
     std::vector<int> page_decisions(page_indices.size(), -1);
     for (size_t p = 0; p < page_indices.size(); ++p) {
+      if (page_masked[p] != 0) continue;
       const storage::PageHeader& h = snap.pages[page_indices[p]]->header;
       page_decisions[p] = decisions.Decide(ClassifyPage(h));
       decisions.Cover(page_decisions[p], 1, h.count);
     }
     // Lines 5-6 of Algorithm 2: slice pages when cores outnumber them.
+    // Only unmasked pages slice; masked pages run whole (one job each),
+    // merged back in page order so per-input concatenation of job outputs
+    // stays in time order.
+    std::vector<size_t> slice_counts;
+    std::vector<size_t> slice_pos;  // position within page_indices
+    for (size_t p = 0; p < page_indices.size(); ++p) {
+      if (page_masked[p] != 0) continue;
+      slice_pos.push_back(p);
+      slice_counts.push_back(page_counts[p]);
+    }
     std::vector<PageSlice> slices =
-        PlanSlices(page_counts, options.threads, 1024);
-    for (const PageSlice& s : slices) {
-      spec.jobs.push_back(PipeJob{static_cast<int>(in),
-                                  page_indices[s.page_index], s.begin, s.end,
-                                  false, page_decisions[s.page_index]});
+        PlanSlices(slice_counts, options.threads, 1024);
+    size_t cursor = 0;  // slices arrive ordered by page then begin
+    for (size_t p = 0; p < page_indices.size(); ++p) {
+      if (page_masked[p] != 0) {
+        spec.jobs.push_back(PipeJob{static_cast<int>(in), page_indices[p], 0,
+                                    page_counts[p], false, -1, true});
+        continue;
+      }
+      while (cursor < slices.size() &&
+             slice_pos[slices[cursor].page_index] == p) {
+        const PageSlice& s = slices[cursor];
+        spec.jobs.push_back(PipeJob{static_cast<int>(in), page_indices[p],
+                                    s.begin, s.end, false,
+                                    page_decisions[p], false});
+        ++cursor;
+      }
     }
     // The unsealed tail rides behind the sealed pages of its input: one
     // scalar job, emitted last so concatenation keeps time order. Tail

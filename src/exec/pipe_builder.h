@@ -36,6 +36,12 @@ struct PipeJob {
   /// Index into PipelineSpec::decisions when the registry planned this job
   /// (options.use_registry); -1 = run the options' pinned strategy.
   int decision = -1;
+  /// A tombstone partially covers the page: the job decodes the whole page
+  /// and filters deleted timestamps before aggregating (scalar masked
+  /// drain), instead of running the vectorized slice kernels. Masked jobs
+  /// are never sliced. Last field so positional initializers of the
+  /// pre-tombstone shape keep compiling.
+  bool masked = false;
 };
 
 /// The compiled pipeline: jobs ready for the job scheduler, the scheduler

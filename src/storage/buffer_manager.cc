@@ -9,7 +9,8 @@ namespace etsqp::storage {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x45545351;  // 'ETSQ' (matches tsfile.cc)
+constexpr uint32_t kMagicV1 = 0x45545351;  // 'ETSQ' (matches tsfile.h)
+constexpr uint32_t kMagicV2 = 0x45545352;  // 'ETSR'
 constexpr size_t kPageHeaderBytes = 4 + 2 + 32 + 8;
 
 Status ReadExact(std::FILE* f, uint8_t* buf, size_t n) {
@@ -47,9 +48,11 @@ Status FileBackedStore::Open(const std::string& path,
 
   uint8_t buf[kPageHeaderBytes];
   ETSQP_RETURN_IF_ERROR(ReadExact(file_, buf, 8));
-  if (GetFixed32BE(buf) != kMagic) {
+  uint32_t magic = GetFixed32BE(buf);
+  if (magic != kMagicV1 && magic != kMagicV2) {
     return Status::Corruption("tsfile: bad magic");
   }
+  const bool v2 = magic == kMagicV2;
   uint32_t num_series = GetFixed32BE(buf + 4);
   for (uint32_t i = 0; i < num_series; ++i) {
     ETSQP_RETURN_IF_ERROR(ReadExact(file_, buf, 4));
@@ -59,14 +62,40 @@ Status FileBackedStore::Open(const std::string& path,
     if (std::fread(name.data(), 1, name_len, file_) != name_len) {
       return Status::IoError("tsfile: short read");
     }
+    if (v2) {
+      // flags(1) + appended_points(8) + ttl(8); the gradual loader serves
+      // pages verbatim with no masking path, so a file carrying unresolved
+      // deletes, TTL, or overlap points must go through a full load instead.
+      ETSQP_RETURN_IF_ERROR(ReadExact(file_, buf, 17));
+      int64_t ttl = static_cast<int64_t>(GetFixed64BE(buf + 9));
+      ETSQP_RETURN_IF_ERROR(ReadExact(file_, buf, 4));
+      uint32_t num_tombstones = GetFixed32BE(buf);
+      if (num_tombstones != 0 || ttl != 0) {
+        return Status::NotSupported(
+            "tsfile: series " + name +
+            " has unresolved deletes/TTL; open it via a full load");
+      }
+      ETSQP_RETURN_IF_ERROR(ReadExact(file_, buf, 4));
+      uint32_t num_ooo = GetFixed32BE(buf);
+      if (num_ooo != 0) {
+        return Status::NotSupported(
+            "tsfile: series " + name +
+            " has unreconciled out-of-order points; open it via a full load");
+      }
+    }
     ETSQP_RETURN_IF_ERROR(ReadExact(file_, buf, 4));
     uint32_t num_pages = GetFixed32BE(buf);
     SeriesIndex index;
     index.name = name;
     for (uint32_t p = 0; p < num_pages; ++p) {
       // Index the header; skip the payload (gradual loading).
-      ETSQP_RETURN_IF_ERROR(ReadExact(file_, buf, kPageHeaderBytes));
       PageRef ref;
+      if (v2) {
+        ETSQP_RETURN_IF_ERROR(ReadExact(file_, buf, 2));
+        ref.header.level = buf[0];
+        ref.header.tier = buf[1];
+      }
+      ETSQP_RETURN_IF_ERROR(ReadExact(file_, buf, kPageHeaderBytes));
       ETSQP_RETURN_IF_ERROR(ParsePageHeader(buf, &ref.header));
       long pos = std::ftell(file_);
       if (pos < 0) return Status::IoError("tsfile: ftell");

@@ -1,0 +1,187 @@
+#include "storage/codec_advisor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "storage/page_builder.h"
+
+namespace etsqp::storage {
+
+namespace {
+
+int BitWidth(uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+}  // namespace
+
+ColumnShape SummarizeInts(const int64_t* values, size_t n) {
+  ColumnShape shape;
+  shape.count = n;
+  if (n == 0) return shape;
+  uint64_t value_runs = 1, delta_runs = 0;
+  uint64_t max_zz = 0;
+  int64_t prev_delta = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (values[i] != values[i - 1]) ++value_runs;
+    int64_t delta = values[i] - values[i - 1];  // wrap is fine: shape only
+    max_zz = std::max(max_zz, ZigZag(delta));
+    if (i == 1 || delta != prev_delta) ++delta_runs;
+    prev_delta = delta;
+  }
+  shape.delta_bits = BitWidth(max_zz);
+  shape.mean_run = static_cast<double>(n) / static_cast<double>(value_runs);
+  shape.mean_delta_run =
+      n < 2 ? 1.0
+            : static_cast<double>(n - 1) / static_cast<double>(delta_runs);
+  return shape;
+}
+
+ColumnShape SummarizeFloats(const double* values, size_t n) {
+  ColumnShape shape;
+  shape.count = n;
+  if (n < 2) return shape;
+  uint64_t zeros = 0, nonzero = 0, sig_bits = 0;
+  uint64_t prev;
+  std::memcpy(&prev, &values[0], 8);
+  for (size_t i = 1; i < n; ++i) {
+    uint64_t bits;
+    std::memcpy(&bits, &values[i], 8);
+    uint64_t x = bits ^ prev;
+    prev = bits;
+    if (x == 0) {
+      ++zeros;
+      continue;
+    }
+    ++nonzero;
+    // Significant span: bits between the leading and trailing zero runs —
+    // what all three XOR codecs pay per value.
+    int lead = 0;
+    for (uint64_t probe = 1ull << 63; (x & probe) == 0; probe >>= 1) ++lead;
+    int trail = 0;
+    for (uint64_t probe = 1; (x & probe) == 0; probe <<= 1) ++trail;
+    sig_bits += static_cast<uint64_t>(64 - lead - trail);
+  }
+  shape.xor_zero_ratio =
+      static_cast<double>(zeros) / static_cast<double>(n - 1);
+  if (nonzero > 0) {
+    shape.xor_mean_sig_bits =
+        static_cast<double>(sig_bits) / static_cast<double>(nonzero);
+  }
+  return shape;
+}
+
+namespace {
+
+struct Trial {
+  enc::ColumnEncoding encoding;
+  size_t bytes;
+};
+
+/// Picks from trial results: smallest bytes, with a cost-hook tie-break
+/// inside `tie_band`, then the min-gain damper against `current`.
+CodecAdvisor::Advice Pick(std::vector<Trial> trials,
+                          enc::ColumnEncoding current, bool is_float,
+                          const CodecAdvisor::Options& options) {
+  CodecAdvisor::Advice advice;
+  advice.encoding = current;
+  for (const Trial& t : trials) {
+    if (t.encoding == current) advice.current_bytes = t.bytes;
+  }
+  size_t best = SIZE_MAX;
+  for (const Trial& t : trials) best = std::min(best, t.bytes);
+  if (best == SIZE_MAX) return advice;
+
+  Trial winner{current, SIZE_MAX};
+  double winner_cost = -1;
+  double band = static_cast<double>(best) * (1.0 + options.tie_band);
+  for (const Trial& t : trials) {
+    if (static_cast<double>(t.bytes) > band) continue;
+    double cost =
+        options.cost_hook ? options.cost_hook(t.encoding, is_float) : -1;
+    bool better;
+    if (winner.bytes == SIZE_MAX) {
+      better = true;
+    } else if (cost >= 0 && winner_cost >= 0) {
+      better = cost < winner_cost ||
+               (cost == winner_cost && t.bytes < winner.bytes);
+    } else {
+      better = t.bytes < winner.bytes;
+    }
+    if (better) {
+      winner = t;
+      winner_cost = cost;
+    }
+  }
+
+  // Keep the current codec unless the winner's gain clears the damper.
+  if (winner.encoding != current && advice.current_bytes > 0) {
+    double kept = static_cast<double>(advice.current_bytes);
+    if (static_cast<double>(winner.bytes) > kept * (1.0 - options.min_gain)) {
+      advice.encoded_bytes = advice.current_bytes;
+      return advice;
+    }
+  }
+  advice.encoding = winner.encoding;
+  advice.encoded_bytes = winner.bytes;
+  return advice;
+}
+
+}  // namespace
+
+CodecAdvisor::Advice CodecAdvisor::AdviseInt(const int64_t* values, size_t n,
+                                             enc::ColumnEncoding current,
+                                             uint32_t block_size) const {
+  ColumnShape shape = SummarizeInts(values, n);
+  std::vector<enc::ColumnEncoding> candidates = {current,
+                                                 enc::ColumnEncoding::kTs2Diff};
+  if (shape.mean_run >= 1.5 || shape.mean_delta_run >= 1.5) {
+    candidates.push_back(enc::ColumnEncoding::kRlbe);
+    candidates.push_back(enc::ColumnEncoding::kDeltaRle);
+  }
+  if (shape.delta_bits <= 32) {
+    candidates.push_back(enc::ColumnEncoding::kSprintz);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<Trial> trials;
+  for (enc::ColumnEncoding e : candidates) {
+    size_t bytes = EncodedColumnBytes(values, n, e, block_size);
+    if (bytes > 0) trials.push_back({e, bytes});
+  }
+  Advice advice = Pick(std::move(trials), current, /*is_float=*/false,
+                       options_);
+  advice.shape = shape;
+  return advice;
+}
+
+CodecAdvisor::Advice CodecAdvisor::AdviseFloat(
+    const double* values, size_t n, enc::ColumnEncoding current) const {
+  ColumnShape shape = SummarizeFloats(values, n);
+  std::vector<Trial> trials;
+  for (enc::ColumnEncoding e :
+       {enc::ColumnEncoding::kGorillaValue, enc::ColumnEncoding::kChimpValue,
+        enc::ColumnEncoding::kElfValue}) {
+    size_t bytes = EncodedColumnBytesF64(values, n, e);
+    if (bytes > 0) trials.push_back({e, bytes});
+  }
+  Advice advice = Pick(std::move(trials), current, /*is_float=*/true,
+                       options_);
+  advice.shape = shape;
+  return advice;
+}
+
+}  // namespace etsqp::storage

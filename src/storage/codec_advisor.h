@@ -1,0 +1,87 @@
+#ifndef ETSQP_STORAGE_CODEC_ADVISOR_H_
+#define ETSQP_STORAGE_CODEC_ADVISOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "encoding/format.h"
+
+namespace etsqp::storage {
+
+/// Cheap single-pass statistics over a decoded value column: the advisor's
+/// shortlisting inputs. These are the observed analogues of the data-shape
+/// axes the paper's Table I encoders are specialized for — delta bounds
+/// (TS2DIFF bit width), run structure (RLE/RLBE), and float XOR patterns
+/// (the Gorilla/Chimp/Elf family).
+struct ColumnShape {
+  uint64_t count = 0;
+  // Integer columns.
+  int delta_bits = 0;         // bit width of the widest zigzag(delta)
+  double mean_run = 0;        // mean run length of equal values
+  double mean_delta_run = 0;  // mean run length of equal deltas
+  // Float columns.
+  double xor_zero_ratio = 0;     // consecutive pairs whose XOR is zero
+  double xor_mean_sig_bits = 0;  // mean significant bits of nonzero XORs
+};
+
+ColumnShape SummarizeInts(const int64_t* values, size_t n);
+ColumnShape SummarizeFloats(const double* values, size_t n);
+
+/// Picks the value encoding a rewritten page should use: shape statistics
+/// shortlist the candidates, a trial encode of each shortlisted codec
+/// measures real bytes (pages are at most a few thousand points, so trial
+/// encoding costs microseconds on the background executor), and the smallest
+/// result wins. Two dampers keep the choice stable and cheap to serve:
+///
+///  - the winner must beat the page's current codec by `min_gain` (fraction
+///    of bytes) or the page keeps its codec — no churn on noise;
+///  - when a decode-cost hook is wired (the db layer feeds it from the
+///    shard's `.calib` measured cost model), candidates within `tie_band`
+///    of the smallest size break toward the cheaper decode, trading a
+///    near-zero size difference for query speed.
+class CodecAdvisor {
+ public:
+  /// Estimated decode cost (ns/tuple) of `encoding`; negative = unknown
+  /// (the tie-break then keeps pure size order).
+  using CostHook = std::function<double(enc::ColumnEncoding, bool is_float)>;
+
+  struct Options {
+    double min_gain = 0.05;
+    double tie_band = 0.02;
+    CostHook cost_hook;
+  };
+
+  struct Advice {
+    enc::ColumnEncoding encoding;  // chosen value codec
+    size_t encoded_bytes = 0;      // trial size of the winner
+    size_t current_bytes = 0;      // trial size of the current codec
+    ColumnShape shape;
+
+    bool changed(enc::ColumnEncoding current) const {
+      return encoding != current;
+    }
+  };
+
+  CodecAdvisor() = default;
+  explicit CodecAdvisor(Options options) : options_(std::move(options)) {}
+
+  /// Integer column. Candidates: the current codec, TS2DIFF always, and
+  /// RLBE / DeltaRle / Sprintz when the run / delta-width shape suggests
+  /// them. `block_size` parameterizes the TS2DIFF trial.
+  Advice AdviseInt(const int64_t* values, size_t n,
+                   enc::ColumnEncoding current, uint32_t block_size) const;
+
+  /// Float column: the whole XOR family (Gorilla / Chimp / Elf) is trialed.
+  Advice AdviseFloat(const double* values, size_t n,
+                     enc::ColumnEncoding current) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace etsqp::storage
+
+#endif  // ETSQP_STORAGE_CODEC_ADVISOR_H_

@@ -26,6 +26,12 @@ struct PageHeader {
   int64_t max_value = 0;
   uint32_t time_bytes = 0;
   uint32_t value_bytes = 0;
+  /// Compaction placement. Not part of the serialized page blob (old readers
+  /// stay compatible); persisted by the TsFile v2 per-page prefix. `level` 0
+  /// means sealed straight from the ingest buffer; a compaction rewrite sets
+  /// max(input levels)+1. `tier` 0 = hot (ingest order), 1 = compacted.
+  uint8_t level = 0;
+  uint8_t tier = 0;
 };
 
 /// One storage page: header plus the two encoded columns. Column buffers are

@@ -127,6 +127,38 @@ Result<Page> BuildPageF64(const int64_t* times, const double* values,
   return page;
 }
 
+size_t EncodedColumnBytes(const int64_t* values, size_t n,
+                          enc::ColumnEncoding encoding, uint32_t block_size) {
+  if (n == 0 || enc::IsFloatEncoding(encoding)) return 0;
+  switch (encoding) {
+    case enc::ColumnEncoding::kTs2Diff:
+    case enc::ColumnEncoding::kDeltaRle:
+    case enc::ColumnEncoding::kRlbe:
+    case enc::ColumnEncoding::kSprintz:
+    case enc::ColumnEncoding::kFastLanes:
+    case enc::ColumnEncoding::kGorilla:
+    case enc::ColumnEncoding::kPlain:
+      return EncodeColumn(values, n, encoding, block_size).bytes.size();
+    default:
+      return 0;
+  }
+}
+
+size_t EncodedColumnBytesF64(const double* values, size_t n,
+                             enc::ColumnEncoding encoding) {
+  if (n == 0) return 0;
+  switch (encoding) {
+    case enc::ColumnEncoding::kGorillaValue:
+      return enc::GorillaValueEncoder().EncodeDoubles(values, n).bytes.size();
+    case enc::ColumnEncoding::kChimpValue:
+      return enc::ChimpEncoder().EncodeDoubles(values, n).bytes.size();
+    case enc::ColumnEncoding::kElfValue:
+      return enc::ElfEncoder().EncodeDoubles(values, n).bytes.size();
+    default:
+      return 0;
+  }
+}
+
 Status DecodePageColumnF64(const AlignedBuffer& data,
                            enc::ColumnEncoding encoding, uint32_t count,
                            double* out) {

@@ -35,6 +35,16 @@ Status DecodePageColumnF64(const AlignedBuffer& data, enc::ColumnEncoding enc,
 Status DecodePageColumn(const AlignedBuffer& data, enc::ColumnEncoding enc,
                         uint32_t count, int64_t* out);
 
+/// Trial encode for the codec advisor: the encoded byte size `values` would
+/// take under `encoding`, without building a page. Returns 0 when the
+/// encoding cannot hold this column (unknown/float encoding for ints).
+size_t EncodedColumnBytes(const int64_t* values, size_t n,
+                          enc::ColumnEncoding encoding, uint32_t block_size);
+
+/// Float-column variant (kGorillaValue / kChimpValue / kElfValue only).
+size_t EncodedColumnBytesF64(const double* values, size_t n,
+                             enc::ColumnEncoding encoding);
+
 }  // namespace etsqp::storage
 
 #endif  // ETSQP_STORAGE_PAGE_BUILDER_H_

@@ -19,6 +19,25 @@
 
 namespace etsqp::storage {
 
+/// An inclusive [lo, hi] timestamp interval — the tombstone unit recorded by
+/// DeleteRange / TTL expiry. Sets of intervals are kept sorted by lo and
+/// disjoint (AddInterval merges overlaps), so membership is a binary search.
+struct TimeInterval {
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+/// Merges `add` into the sorted, disjoint set in place.
+void AddInterval(std::vector<TimeInterval>* set, TimeInterval add);
+/// True when `t` falls inside any interval of the sorted, disjoint set.
+bool IntervalsContain(const std::vector<TimeInterval>& set, int64_t t);
+/// True when [lo, hi] intersects any interval of the set.
+bool IntervalsOverlap(const std::vector<TimeInterval>& set, int64_t lo,
+                      int64_t hi);
+/// True when one interval of the set contains all of [lo, hi].
+bool IntervalsCover(const std::vector<TimeInterval>& set, int64_t lo,
+                    int64_t hi);
+
 /// A point-in-time view of one series for query execution: the sealed
 /// encoded pages (shared, immutable) plus a copy of the unsealed in-memory
 /// tail. Snapshots are consistent — pages and tail are captured under one
@@ -38,6 +57,13 @@ struct SeriesSnapshot {
   /// results (db/result_cache.h).
   uint64_t epoch = 0;
   std::vector<std::shared_ptr<const Page>> pages;
+  /// Effective tombstones at capture: explicit DeleteRange intervals merged
+  /// with the TTL cutoff, sorted and disjoint. The tail arrays below are
+  /// already filtered against them; sealed pages are NOT — the exec layer
+  /// masks them (fully covered pages prune, partially covered pages drain
+  /// through a decode-and-filter path). Empty for most series, so the
+  /// masking paths cost nothing when no deletes exist.
+  std::vector<TimeInterval> tombstones;
   // Unsealed tail (pending-seal segments + active buffer, in time order).
   std::vector<int64_t> tail_times;
   std::vector<int64_t> tail_values;      // int series
@@ -84,6 +110,12 @@ class SeriesStore {
   struct SeriesOptions {
     PageOptions page;
     uint32_t page_size = 4096;  // points per page
+    /// Accepts appends at or below the ordering fence: the late prefix of a
+    /// batch lands in a WAL-logged overlap buffer, invisible to queries,
+    /// until a compaction pass reconciles it into the sealed pages
+    /// (last-write-wins on duplicate timestamps). Off by default — strict
+    /// Definition 1 ordering stays the contract unless opted into.
+    bool allow_out_of_order = false;
   };
 
   /// A buffer segment handed to the sealer. With background sealing the
@@ -114,6 +146,17 @@ class SeriesStore {
     uint64_t epoch = 0;  // mutation counter (appends, seal installs, loads)
     int64_t last_time = INT64_MIN;  // ordering fence (Definition 1)
     Status seal_error = Status::Ok();  // sticky background-seal failure
+    // Tombstones: sorted, disjoint deleted [lo,hi] ranges (DeleteRange).
+    // Masked at query time, physically dropped at compaction.
+    std::vector<TimeInterval> tombstones;
+    int64_t ttl_nanos = 0;  // 0 = none; cut = last_time - ttl_nanos
+    // Out-of-order overlap buffer (allow_out_of_order series): points at or
+    // below the fence, sorted by time, duplicates resolved last-write-wins.
+    // Invisible to queries until compaction reconciles them into pages.
+    std::vector<int64_t> ooo_times;
+    std::vector<int64_t> ooo_values;
+    std::vector<double> ooo_values_f64;
+    bool compacting = false;  // at most one in-flight compaction per series
 
     bool is_float() const {
       return enc::IsFloatEncoding(options.page.value_encoding);
@@ -183,6 +226,96 @@ class SeriesStore {
   /// to bound the memory a query snapshot would copy.
   uint64_t TailPoints(const std::string& name) const;
 
+  // --- TTL / delete (tombstones) -----------------------------------------
+
+  /// Deletes the inclusive time range [t0, t1] from `name`. The range is
+  /// clamped to data the series has actually seen (hi <= current fence), so
+  /// strictly-newer future appends are never masked and replay — which sees
+  /// the same fence at the same log position — is deterministic. The
+  /// tombstone is WAL-logged, masked out of every snapshot immediately, and
+  /// physically dropped by a later compaction pass. Deleting an empty or
+  /// all-future range is a no-op.
+  Status DeleteRange(const std::string& name, int64_t t0, int64_t t1);
+
+  /// Sets (0 clears) the retention window: points older than
+  /// `last_time - ttl_nanos` are masked like a tombstone. The cut is
+  /// measured against the series' own newest timestamp, not the wall clock,
+  /// so visibility is deterministic under WAL replay.
+  Status SetTtl(const std::string& name, int64_t ttl_nanos);
+
+  /// Explicit tombstone ranges (no TTL folded in); empty if no series.
+  std::vector<TimeInterval> Tombstones(const std::string& name) const;
+  int64_t Ttl(const std::string& name) const;
+  /// Points waiting in the out-of-order overlap buffer.
+  uint64_t OooPoints(const std::string& name) const;
+
+  // --- Compaction handshake (storage::Compactor drives these) ------------
+
+  /// Everything one compaction pass needs, captured under a single lock
+  /// acquisition. Captured page pointers stay valid *at their indices*
+  /// until Install/Abort: appends only ever push_back, and the `compacting`
+  /// flag serializes passes per series.
+  struct CompactionCapture {
+    std::string name;
+    SeriesOptions options;
+    bool is_float = false;
+    std::vector<std::shared_ptr<const Page>> pages;
+    std::vector<TimeInterval> tombstones;  // effective (TTL folded in)
+    std::vector<TimeInterval> explicit_tombstones;  // as stored
+    std::vector<int64_t> ooo_times;
+    std::vector<int64_t> ooo_values;
+    std::vector<double> ooo_values_f64;
+    int64_t sealed_max_time = INT64_MIN;  // max page time at capture
+    bool tail_empty = true;               // no buffered/pending points
+  };
+
+  /// Marks `name` compacting and fills `out`. FailedPrecondition when a
+  /// pass is already in flight for the series.
+  Status BeginCompaction(const std::string& name, CompactionCapture* out);
+
+  struct CompactionInstall {
+    /// Replace captured pages [replace_begin, replace_end) ...
+    size_t replace_begin = 0;
+    size_t replace_end = 0;
+    /// ... with these (may be empty: a fully deleted span just vanishes).
+    std::vector<std::shared_ptr<const Page>> new_pages;
+    /// Overlap-buffer points the rewrite merged, identified by (time,
+    /// value-bits): points that changed since capture (late update) stay
+    /// buffered for the next pass, preserving last-write-wins.
+    size_t ooo_consumed = 0;  // prefix length of the captured OOO arrays
+    /// Captured explicit tombstones now physically applied; removed from
+    /// the series if still present verbatim (a concurrent DeleteRange that
+    /// grew one keeps the merged range masked — conservative, correct).
+    std::vector<TimeInterval> tombstones_resolved;
+  };
+
+  /// Atomically swaps the rewritten page range in, trims the consumed
+  /// overlap-buffer points and resolved tombstones, bumps the series epoch
+  /// (implicitly invalidating cached results), and clears `compacting`.
+  /// Returns Aborted — installing nothing — when the series vanished or the
+  /// captured pages are no longer pointer-identical at their indices.
+  Status InstallCompaction(const CompactionCapture& capture,
+                           CompactionInstall install);
+  void AbortCompaction(const std::string& name);
+
+  /// Auto-compaction hook: after every `pages_threshold` newly installed
+  /// pages (store-wide), `trigger` fires. It runs under the store lock —
+  /// it must only schedule asynchronous work, never call back into the
+  /// store synchronously. Threshold 0 disables.
+  void SetCompactionTrigger(uint32_t pages_threshold,
+                            std::function<void()> trigger);
+
+  /// TsFile-v2 load hook: restores persisted delete/TTL/out-of-order state
+  /// after the series' pages are installed, and overwrites the derived
+  /// append-sequence fence with the persisted one — compaction drops points
+  /// physically, so page counts alone under-count the WAL sequence.
+  Status RestoreSeriesMeta(const std::string& name, uint64_t appended_points,
+                           int64_t ttl_nanos,
+                           std::vector<TimeInterval> tombstones,
+                           std::vector<int64_t> ooo_times,
+                           std::vector<int64_t> ooo_values,
+                           std::vector<double> ooo_values_f64);
+
   // --- Streaming ingest subsystem ---------------------------------------
 
   /// Attaches a write-ahead log: every subsequent CreateSeries/Append* is
@@ -216,6 +349,14 @@ class SeriesStore {
                           const int64_t* times, const int64_t* ivalues,
                           const double* fvalues, size_t n,
                           size_t* points_applied);
+  /// Replay of an out-of-order overlap record (WAL types 6/7): same
+  /// first_seq idempotency, but the points merge into the overlap buffer.
+  Status ApplyReplayBatchOoo(const std::string& name, uint64_t first_seq,
+                             const int64_t* times, const int64_t* ivalues,
+                             const double* fvalues, size_t n,
+                             size_t* points_applied);
+  Status ApplyReplayDelete(const std::string& name, int64_t t0, int64_t t1);
+  Status ApplyReplayTtl(const std::string& name, int64_t ttl_nanos);
 
   /// Counters bookkeeping after a recovery pass (db layer).
   void NoteRecovery(const Wal::ReplayStats& replay);
@@ -232,11 +373,23 @@ class SeriesStore {
     bool background_seal = false;
     TaskSubmitter submit;
     metrics::IngestStats ingest;
+    // Auto-compaction trigger (SetCompactionTrigger).
+    uint32_t compact_trigger_pages = 0;
+    uint32_t pages_since_trigger = 0;
+    std::function<void()> compact_trigger;
   };
 
   Status AppendLocked(State* st, const std::string& name,
                       const int64_t* times, const int64_t* ivalues,
                       const double* fvalues, size_t n);
+  /// Merges a sorted late batch into the overlap buffer, last-write-wins.
+  static void MergeOooLocked(Series* s, const int64_t* times,
+                             const int64_t* ivalues, const double* fvalues,
+                             size_t n);
+  /// Explicit tombstones merged with the TTL cutoff (sorted, disjoint).
+  static std::vector<TimeInterval> EffectiveTombstones(const Series& s);
+  /// Fires the auto-compaction trigger when enough pages landed.
+  static void NotePageInstalledLocked(State* st);
   /// Cuts the full buffer into a segment and seals it (inline or via the
   /// executor). Caller holds the unique lock.
   Status SealBufferLocked(State* st, Series* s);

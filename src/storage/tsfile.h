@@ -9,14 +9,36 @@
 namespace etsqp::storage {
 
 /// Minimal TsFile-style persistence (paper [27]): a file holds, per series,
-/// a chunk of consecutive pages. Layout:
-///   u32 magic 'ETSQ' | u32 num_series
-///   per series: u32 name_len | name bytes | u32 num_pages | pages...
+/// a chunk of consecutive pages. Two versions share the writer/reader
+/// (docs/FORMAT.md):
+///
+/// v1 ('ETSQ'): u32 magic | u32 num_series
+///   per series: u32 name_len | name | u32 num_pages | pages...
+///
+/// v2 ('ETSR') adds the compaction metadata:
+///   per series: u32 name_len | name | u8 flags | u64 appended_points |
+///     i64 ttl_nanos | u32 num_tombstones x (i64 lo, i64 hi) |
+///     u32 num_ooo x (i64 time, u64 value_bits) |
+///     u32 num_pages x (u8 level | u8 tier | serialized page)
+///   flags: bit 0 allow_out_of_order, bit 1 float series.
+///
+/// The writer emits byte-identical v1 while no series carries compaction
+/// state (no tombstones/TTL/overlap points, every page level/tier zero) and
+/// switches to v2 only when that state exists — so pre-compaction readers
+/// keep working on pre-compaction data, and old files always load.
 /// All buffered points must be flushed before writing.
 Status WriteTsFile(const SeriesStore& store, const std::string& path);
 
 /// Loads every series in the file into `store` (series must not exist yet).
+/// Rejects truncated or inconsistent v2 metadata (inverted tombstones,
+/// counts exceeding the file, tier/level out of range).
 Status ReadTsFile(const std::string& path, SeriesStore* store);
+
+/// Format bounds shared with the gradual-loading reader (buffer_manager).
+inline constexpr uint32_t kTsFileMagicV1 = 0x45545351;  // 'ETSQ'
+inline constexpr uint32_t kTsFileMagicV2 = 0x45545352;  // 'ETSR'
+inline constexpr uint8_t kTsFileMaxPageLevel = 63;
+inline constexpr uint8_t kTsFileMaxPageTier = 1;
 
 }  // namespace etsqp::storage
 

@@ -168,7 +168,7 @@ Wal::Stats Wal::stats() const {
 
 Status Wal::AppendCreateSeries(const std::string& name, uint8_t time_encoding,
                                uint8_t value_encoding, uint32_t page_size,
-                               uint32_t block_size) {
+                               uint32_t block_size, uint8_t flags) {
   std::vector<uint8_t> payload;
   payload.push_back(kCreateSeries);
   payload.push_back(time_encoding);
@@ -176,6 +176,9 @@ Status Wal::AppendCreateSeries(const std::string& name, uint8_t time_encoding,
   PutFixed32BE(&payload, page_size);
   PutFixed32BE(&payload, block_size);
   PutName(&payload, name);
+  // The flags byte is written only when set, keeping byte-identical logs
+  // for flag-free series and unambiguous replay of old logs either way.
+  if (flags != 0) payload.push_back(flags);
   return AppendRecord(payload);
 }
 
@@ -210,6 +213,60 @@ Status Wal::AppendPointsF64(const std::string& name, uint64_t first_seq,
     std::memcpy(&bits, &values[i], sizeof(bits));
     PutFixed64BE(&payload, bits);
   }
+  return AppendRecord(payload);
+}
+
+Status Wal::AppendPointsOoo(const std::string& name, uint64_t first_seq,
+                            const int64_t* times, const int64_t* values,
+                            size_t n) {
+  std::vector<uint8_t> payload;
+  payload.reserve(1 + 2 + name.size() + 12 + 16 * n);
+  payload.push_back(kAppendIntOoo);
+  PutName(&payload, name);
+  PutFixed64BE(&payload, first_seq);
+  PutFixed32BE(&payload, static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    PutFixed64BE(&payload, static_cast<uint64_t>(times[i]));
+    PutFixed64BE(&payload, static_cast<uint64_t>(values[i]));
+  }
+  return AppendRecord(payload);
+}
+
+Status Wal::AppendPointsOooF64(const std::string& name, uint64_t first_seq,
+                               const int64_t* times, const double* values,
+                               size_t n) {
+  std::vector<uint8_t> payload;
+  payload.reserve(1 + 2 + name.size() + 12 + 16 * n);
+  payload.push_back(kAppendF64Ooo);
+  PutName(&payload, name);
+  PutFixed64BE(&payload, first_seq);
+  PutFixed32BE(&payload, static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    PutFixed64BE(&payload, static_cast<uint64_t>(times[i]));
+    uint64_t bits;
+    std::memcpy(&bits, &values[i], sizeof(bits));
+    PutFixed64BE(&payload, bits);
+  }
+  return AppendRecord(payload);
+}
+
+Status Wal::AppendDeleteRange(const std::string& name, int64_t t0,
+                              int64_t t1) {
+  std::vector<uint8_t> payload;
+  payload.reserve(1 + 2 + name.size() + 16);
+  payload.push_back(kDeleteRange);
+  PutName(&payload, name);
+  PutFixed64BE(&payload, static_cast<uint64_t>(t0));
+  PutFixed64BE(&payload, static_cast<uint64_t>(t1));
+  return AppendRecord(payload);
+}
+
+Status Wal::AppendSetTtl(const std::string& name, int64_t ttl_nanos) {
+  std::vector<uint8_t> payload;
+  payload.reserve(1 + 2 + name.size() + 8);
+  payload.push_back(kSetTtl);
+  PutName(&payload, name);
+  PutFixed64BE(&payload, static_cast<uint64_t>(ttl_nanos));
   return AppendRecord(payload);
 }
 
@@ -267,7 +324,11 @@ Status Wal::ReplayInto(SeriesStore* store, ReplayStats* stats) {
         std::string name;
         parsed = r.ReadU8(&time_enc) && r.ReadU8(&value_enc) &&
                  r.ReadU32(&page_size) && r.ReadU32(&block_size) &&
-                 r.ReadName(&name) && r.Done();
+                 r.ReadName(&name);
+        // Optional trailing flags byte (bit 0 = allow_out_of_order);
+        // records from before the compaction subsystem end at the name.
+        uint8_t flags = 0;
+        if (parsed && !r.Done()) parsed = r.ReadU8(&flags) && r.Done();
         if (parsed && !store->HasSeries(name)) {
           SeriesStore::SeriesOptions opt;
           opt.page_size = page_size;
@@ -275,14 +336,37 @@ Status Wal::ReplayInto(SeriesStore* store, ReplayStats* stats) {
           opt.page.value_encoding =
               static_cast<enc::ColumnEncoding>(value_enc);
           opt.page.block_size = block_size;
+          opt.allow_out_of_order = (flags & 1) != 0;
           applied = store->CreateSeriesForReplay(name, opt);
         } else if (parsed) {
           skipped = true;
         }
         break;
       }
+      case kDeleteRange: {
+        std::string name;
+        uint64_t t0 = 0, t1 = 0;
+        parsed = r.ReadName(&name) && r.ReadU64(&t0) && r.ReadU64(&t1) &&
+                 r.Done();
+        if (parsed) {
+          applied = store->ApplyReplayDelete(name, static_cast<int64_t>(t0),
+                                             static_cast<int64_t>(t1));
+        }
+        break;
+      }
+      case kSetTtl: {
+        std::string name;
+        uint64_t ttl = 0;
+        parsed = r.ReadName(&name) && r.ReadU64(&ttl) && r.Done();
+        if (parsed) {
+          applied = store->ApplyReplayTtl(name, static_cast<int64_t>(ttl));
+        }
+        break;
+      }
       case kAppendInt:
-      case kAppendF64: {
+      case kAppendF64:
+      case kAppendIntOoo:
+      case kAppendF64Ooo: {
         std::string name;
         uint64_t first_seq = 0;
         uint32_t n = 0;
@@ -290,13 +374,15 @@ Status Wal::ReplayInto(SeriesStore* store, ReplayStats* stats) {
         std::vector<int64_t> times;
         std::vector<int64_t> ivalues;
         std::vector<double> fvalues;
+        const bool is_int = (type == kAppendInt || type == kAppendIntOoo);
+        const bool is_ooo = (type == kAppendIntOoo || type == kAppendF64Ooo);
         if (parsed) {
           times.reserve(n);
           for (uint32_t i = 0; parsed && i < n; ++i) {
             uint64_t t = 0, v = 0;
             parsed = r.ReadU64(&t) && r.ReadU64(&v);
             times.push_back(static_cast<int64_t>(t));
-            if (type == kAppendInt) {
+            if (is_int) {
               ivalues.push_back(static_cast<int64_t>(v));
             } else {
               double d;
@@ -308,10 +394,15 @@ Status Wal::ReplayInto(SeriesStore* store, ReplayStats* stats) {
         }
         if (parsed) {
           size_t points = 0;
-          applied = store->ApplyReplayBatch(
-              name, first_seq, times.data(),
-              type == kAppendInt ? ivalues.data() : nullptr,
-              type == kAppendF64 ? fvalues.data() : nullptr, n, &points);
+          applied =
+              is_ooo ? store->ApplyReplayBatchOoo(
+                           name, first_seq, times.data(),
+                           is_int ? ivalues.data() : nullptr,
+                           is_int ? nullptr : fvalues.data(), n, &points)
+                     : store->ApplyReplayBatch(
+                           name, first_seq, times.data(),
+                           is_int ? ivalues.data() : nullptr,
+                           is_int ? nullptr : fvalues.data(), n, &points);
           local.points_applied += points;
           skipped = (points == 0);
         }

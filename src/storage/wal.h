@@ -24,11 +24,19 @@ class SeriesStore;
 ///
 /// Payload layout by leading type byte:
 ///   1 kCreateSeries  u8 time_enc | u8 value_enc | u32 page_size |
-///                    u32 block_size | u16 name_len | name
+///                    u32 block_size | u16 name_len | name [| u8 flags]
+///                    (flags bit 0 = allow_out_of_order; the byte is
+///                    optional so pre-compaction logs replay unchanged)
 ///   2 kAppendInt     u16 name_len | name | u64 first_seq | u32 n |
 ///                    n x (i64 time | i64 value)
 ///   3 kAppendF64     u16 name_len | name | u64 first_seq | u32 n |
 ///                    n x (i64 time | u64 value_bits)
+///   4 kDeleteRange   u16 name_len | name | i64 t0 | i64 t1
+///                    (inclusive tombstone range, already fence-clamped)
+///   5 kSetTtl        u16 name_len | name | i64 ttl_nanos
+///   6 kAppendIntOoo  same layout as 2 — late points bound for the
+///                    out-of-order overlap buffer
+///   7 kAppendF64Ooo  same layout as 3, overlap-buffer variant
 ///
 /// `first_seq` is the series' append sequence number (total points ever
 /// appended) before the batch — it makes replay idempotent: records whose
@@ -91,12 +99,23 @@ class Wal {
 
   Status AppendCreateSeries(const std::string& name, uint8_t time_encoding,
                             uint8_t value_encoding, uint32_t page_size,
-                            uint32_t block_size);
+                            uint32_t block_size, uint8_t flags = 0);
   Status AppendPoints(const std::string& name, uint64_t first_seq,
                       const int64_t* times, const int64_t* values, size_t n);
   Status AppendPointsF64(const std::string& name, uint64_t first_seq,
                          const int64_t* times, const double* values,
                          size_t n);
+  /// Overlap-buffer (out-of-order) variants: same framing as the ordinary
+  /// appends, but replay routes them into the series' overlap buffer.
+  Status AppendPointsOoo(const std::string& name, uint64_t first_seq,
+                         const int64_t* times, const int64_t* values,
+                         size_t n);
+  Status AppendPointsOooF64(const std::string& name, uint64_t first_seq,
+                            const int64_t* times, const double* values,
+                            size_t n);
+  /// Inclusive tombstone range [t0, t1] (fence-clamped by the store).
+  Status AppendDeleteRange(const std::string& name, int64_t t0, int64_t t1);
+  Status AppendSetTtl(const std::string& name, int64_t ttl_nanos);
 
   /// Forces an fsync of everything appended so far.
   Status Sync();
@@ -112,6 +131,10 @@ class Wal {
     kCreateSeries = 1,
     kAppendInt = 2,
     kAppendF64 = 3,
+    kDeleteRange = 4,
+    kSetTtl = 5,
+    kAppendIntOoo = 6,
+    kAppendF64Ooo = 7,
   };
 
   Wal(std::string path, int fd, const Options& options);

@@ -447,6 +447,91 @@ TEST(ResultCacheTest, BackgroundSealInstallAdvancesEpoch) {
   EXPECT_EQ(db.Query(sql).value().stats.cache_hits, 1u);
 }
 
+/// A compaction install advances the series epoch on its own — no append in
+/// between — so results cached over the pre-compaction pages go stale the
+/// moment the rewritten pages swap in. Mirrors the background-seal test
+/// above for the compaction path.
+TEST(ResultCacheTest, CompactionInstallAdvancesEpoch) {
+  Database db(Database::Options{Database::Mode::kSimd, 1, 1, 1 << 20});
+  ASSERT_TRUE(db.CreateTimeseries("s", /*page_size=*/128).ok());
+  std::vector<int64_t> times(1024), values(1024);
+  int64_t sum = 0;
+  for (int i = 0; i < 1024; ++i) {
+    times[i] = i;
+    values[i] = i % 23;
+    sum += values[i];
+  }
+  ASSERT_TRUE(db.InsertBatch("s", times.data(), values.data(), 1024).ok());
+  ASSERT_TRUE(db.Flush().ok());
+
+  const std::string sql = "SELECT SUM(s) FROM s;";
+  ASSERT_TRUE(db.Query(sql).ok());
+  ASSERT_EQ(db.Query(sql).value().stats.cache_hits, 1u);
+
+  const uint64_t epoch_before = db.shard_store(0)->SeriesEpoch("s");
+  ASSERT_TRUE(db.EnableCompaction().ok());
+  ASSERT_TRUE(db.Compact().ok());
+  ASSERT_GT(db.compaction_stats().series_compacted, 0u);
+  EXPECT_GT(db.shard_store(0)->SeriesEpoch("s"), epoch_before)
+      << "the install must bump the epoch by itself";
+
+  Result<exec::QueryResult> fresh = db.Query(sql);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().stats.cache_misses, 1u)
+      << "cached result over pre-compaction pages must have gone stale";
+  EXPECT_EQ(fresh.value().columns[0][0], static_cast<double>(sum));
+  EXPECT_EQ(db.Query(sql).value().stats.cache_hits, 1u);
+}
+
+/// Query-vs-compact race (runs under TSan in CI): concurrent queries — some
+/// answered from cache, some re-executed after each install's epoch bump —
+/// must always see either the old pages or the new ones, never a half-
+/// installed mix, and never a stale cached answer for the current epoch.
+TEST(ResultCacheTest, ConcurrentQueriesVsCompactionInstalls) {
+  Database db(Database::Options{Database::Mode::kSimd, 2, 1, 1 << 20});
+  ASSERT_TRUE(db.CreateTimeseries("s", /*page_size=*/128).ok());
+  std::vector<int64_t> times(2048), values(2048);
+  int64_t sum = 0;
+  for (int i = 0; i < 2048; ++i) {
+    times[i] = i;
+    values[i] = i % 13;
+    sum += values[i];
+  }
+  ASSERT_TRUE(db.InsertBatch("s", times.data(), values.data(), 2048).ok());
+  ASSERT_TRUE(db.Flush().ok());
+  ASSERT_TRUE(db.EnableCompaction().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int c = 0; c < 3; ++c) {
+    readers.emplace_back([&db, &stop, &failures, sum] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<exec::QueryResult> r = db.Query("SELECT SUM(s) FROM s;");
+        if (!r.ok() || r.value().num_rows() != 1 ||
+            r.value().columns[0][0] != static_cast<double>(sum)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  // Each round seals one fresh page of zeros (SUM unchanged) and compacts:
+  // the new tier-0 page keeps every pass dirty, so each iteration is a
+  // fresh install racing the readers. A lost install is Aborted, not an
+  // error.
+  int64_t t_next = 2048;
+  for (int i = 0; i < 25; ++i) {
+    std::vector<int64_t> zt(128), zv(128, 0);
+    for (int j = 0; j < 128; ++j) zt[j] = t_next++;
+    ASSERT_TRUE(db.InsertBatch("s", zt.data(), zv.data(), 128).ok());
+    ASSERT_TRUE(db.Compact().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(ResultCacheTest, CheckpointSealInvalidates) {
   const std::string path = TempPath("db_cache_ckpt.tsfile");
   Database db(Database::Options{Database::Mode::kSimd, 1, 1, 1 << 20});

@@ -25,6 +25,15 @@
 //   .checkpoint <file>   flush + save per-shard TsFiles + truncate the WAL
 //   .calibrate <file>    load (or measure + save) the per-shard
 //                        scheduler-registry cost calibration caches
+//   .compact [shard]     one synchronous compaction pass (all shards, or
+//                        just one): adaptive per-page re-encoding, page
+//                        merging, tombstone/TTL drop, out-of-order
+//                        reconciliation. Enables compaction on first use.
+//   .compaction          cumulative compaction counters
+//   .delete <series> <t0> <t1>   tombstone [t0, t1]: masked at query time,
+//                        dropped at the next compaction pass
+//   .ttl <series> <ns>   retention TTL in nanoseconds (0 = off); points
+//                        older than last_time - ns are masked
 //   SELECT ...;          any Table III dialect statement
 //   EXPLAIN [ANALYZE] SELECT ...;   show the compiled Pipe plan (ANALYZE
 //                        appends the serving-layer block: shard, cache,
@@ -92,6 +101,31 @@ std::string ArgOf(const std::string& cmd, size_t prefix_len) {
   return arg;
 }
 
+void PrintCompactionStats(const metrics::CompactionStats& cs) {
+  double win = cs.bytes_in > 0
+                   ? (1.0 - static_cast<double>(cs.bytes_out) /
+                                static_cast<double>(cs.bytes_in)) *
+                         100.0
+                   : 0.0;
+  std::printf(
+      "compaction: runs=%llu series=%llu pages %llu->%llu (reencoded=%llu)\n"
+      "            bytes %llu->%llu (%.1f%% smaller) dropped=%llu "
+      "tombstones=%llu\n"
+      "            ooo_merged=%llu aborted=%llu time=%.3f ms\n",
+      static_cast<unsigned long long>(cs.runs),
+      static_cast<unsigned long long>(cs.series_compacted),
+      static_cast<unsigned long long>(cs.pages_in),
+      static_cast<unsigned long long>(cs.pages_out),
+      static_cast<unsigned long long>(cs.pages_reencoded),
+      static_cast<unsigned long long>(cs.bytes_in),
+      static_cast<unsigned long long>(cs.bytes_out), win,
+      static_cast<unsigned long long>(cs.deleted_points_dropped),
+      static_cast<unsigned long long>(cs.tombstones_resolved),
+      static_cast<unsigned long long>(cs.ooo_points_merged),
+      static_cast<unsigned long long>(cs.installs_aborted),
+      static_cast<double>(cs.nanos) / 1e6);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,6 +161,7 @@ int main(int argc, char** argv) {
               dbx.num_shards() == 1 ? "" : "s");
 
   std::string tenant = "default";
+  bool compaction_enabled = false;
   exec::QueryStats last_stats;
   char line[1024];
   while (std::printf("etsqp[%s]> ", tenant.c_str()), std::fflush(stdout),
@@ -154,6 +189,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == ".stats") {
       std::fputs(exec::RenderStats(last_stats).c_str(), stdout);
+      metrics::CompactionStats cs = dbx.compaction_stats();
+      if (!cs.empty()) PrintCompactionStats(cs);
       continue;
     }
     if (cmd == ".pool") {
@@ -194,6 +231,7 @@ int main(int argc, char** argv) {
       metrics::IngestStats is = dbx.ingest_stats();
       std::printf(
           "ingest: points=%llu batches=%llu rejected=%llu tail=%llu\n"
+          "ooo:    accepted=%llu pending=%llu  deletes: ranges=%llu\n"
           "seal:   pages=%llu background=%llu time=%.3f ms\n"
           "wal:    records=%llu bytes=%llu fsyncs=%llu sync=%.3f ms\n"
           "recovery: records=%llu points=%llu dropped=%llu\n",
@@ -201,6 +239,9 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(is.append_batches),
           static_cast<unsigned long long>(is.rejected_batches),
           static_cast<unsigned long long>(is.tail_points),
+          static_cast<unsigned long long>(is.ooo_points),
+          static_cast<unsigned long long>(is.ooo_pending),
+          static_cast<unsigned long long>(is.delete_ranges),
           static_cast<unsigned long long>(is.pages_sealed),
           static_cast<unsigned long long>(is.background_seals),
           static_cast<double>(is.seal_nanos) / 1e6,
@@ -239,6 +280,65 @@ int main(int argc, char** argv) {
       } else {
         std::printf("error: %s\n", cst.ToString().c_str());
       }
+      continue;
+    }
+    if (cmd == ".compaction") {
+      PrintCompactionStats(dbx.compaction_stats());
+      continue;
+    }
+    if (cmd.rfind(".compact", 0) == 0) {
+      std::string arg = ArgOf(cmd, 8);
+      int shard = arg.empty() ? -1 : std::atoi(arg.c_str());
+      if (!compaction_enabled) {
+        Status est = dbx.EnableCompaction();
+        if (!est.ok()) {
+          std::printf("error: %s\n", est.ToString().c_str());
+          continue;
+        }
+        compaction_enabled = true;
+      }
+      metrics::CompactionStats before = dbx.compaction_stats();
+      Status pst = dbx.Compact(shard);
+      if (!pst.ok()) {
+        std::printf("error: %s\n", pst.ToString().c_str());
+        continue;
+      }
+      metrics::CompactionStats after = dbx.compaction_stats();
+      std::printf(
+          "compacted %s: %llu series, pages %llu->%llu, bytes %llu->%llu\n",
+          shard < 0 ? "all shards" : ("shard " + arg).c_str(),
+          static_cast<unsigned long long>(after.series_compacted -
+                                          before.series_compacted),
+          static_cast<unsigned long long>(after.pages_in - before.pages_in),
+          static_cast<unsigned long long>(after.pages_out - before.pages_out),
+          static_cast<unsigned long long>(after.bytes_in - before.bytes_in),
+          static_cast<unsigned long long>(after.bytes_out - before.bytes_out));
+      continue;
+    }
+    if (cmd.rfind(".delete", 0) == 0) {
+      std::string arg = ArgOf(cmd, 7);
+      char name[512];
+      long long t0 = 0;
+      long long t1 = 0;
+      if (std::sscanf(arg.c_str(), "%511s %lld %lld", name, &t0, &t1) != 3) {
+        std::printf("usage: .delete <series> <t0> <t1>\n");
+        continue;
+      }
+      Status dst = dbx.DeleteRange(name, t0, t1);
+      std::printf("%s\n", dst.ok() ? "deleted (masked until next .compact)"
+                                   : dst.ToString().c_str());
+      continue;
+    }
+    if (cmd.rfind(".ttl", 0) == 0) {
+      std::string arg = ArgOf(cmd, 4);
+      char name[512];
+      long long ns = 0;
+      if (std::sscanf(arg.c_str(), "%511s %lld", name, &ns) != 2) {
+        std::printf("usage: .ttl <series> <nanos>  (0 disables)\n");
+        continue;
+      }
+      Status tst = dbx.SetTtl(name, ns);
+      std::printf("%s\n", tst.ok() ? "ttl set" : tst.ToString().c_str());
       continue;
     }
     if (cmd.rfind(".profile", 0) == 0) {
