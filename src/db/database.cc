@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "db/shard_router.h"
+#include "exec/scheduler_registry.h"
 #include "exec/thread_pool.h"
 #include "sql/planner.h"
+#include "storage/page_builder.h"
 #include "storage/tsfile.h"
 
 namespace etsqp::db {
@@ -348,6 +350,21 @@ Status Database::EnableCompaction(const CompactionConfig& config) {
   for (auto& shard : rep->shards) {
     storage::CompactionOptions opts = config.options;
     if (!opts.cost_hook) opts.cost_hook = MakeCostHook(shard->calibration);
+    if (!opts.decode_support) {
+      // Registry-backed guard: a rewrite codec must have both a storage
+      // decode entry and a schedulable serving-path class.
+      opts.decode_support = [](enc::ColumnEncoding e) {
+        if (!storage::PageDecodeSupported(e)) return false;
+        exec::PageClass cls;
+        cls.value_encoding = e;
+        cls.time_encoding = enc::ColumnEncoding::kTs2Diff;
+        cls.is_float = enc::IsFloatEncoding(e);
+        cls.width_bucket = 8;
+        exec::ScheduleDecision d = exec::SchedulerRegistry::Global().Propose(
+            cls, exec::PlanContext{}, nullptr, exec::CostConstants{});
+        return d.entry != nullptr;
+      };
+    }
     shard->compactor =
         std::make_unique<storage::Compactor>(&shard->store, std::move(opts));
     if (config.auto_trigger_pages > 0) {

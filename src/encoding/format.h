@@ -24,6 +24,8 @@ enum class ColumnEncoding : uint8_t {
   kGorillaValue = 9,
   kChimpValue = 10,
   kElfValue = 11,
+  // Split control/data byte streams for vectorized decode  [StreamVByte]
+  kStreamVByte = 12,
 };
 
 /// True for the double-typed value encodings.
@@ -58,6 +60,8 @@ inline const char* ColumnEncodingName(ColumnEncoding e) {
       return "CHIMP";
     case ColumnEncoding::kElfValue:
       return "ELF";
+    case ColumnEncoding::kStreamVByte:
+      return "STREAMVBYTE";
   }
   return "UNKNOWN";
 }

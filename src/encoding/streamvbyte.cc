@@ -1,0 +1,86 @@
+#include "encoding/streamvbyte.h"
+
+#include "common/bit_util.h"
+#include "common/bitstream.h"
+
+namespace etsqp::enc {
+
+EncodedColumn StreamVByteEncoder::Encode(const int64_t* values,
+                                         size_t n) const {
+  EncodedColumn col;
+  col.encoding = ColumnEncoding::kStreamVByte;
+  col.count = static_cast<uint32_t>(n);
+  std::vector<uint8_t>& out = col.bytes;
+  PutFixed32BE(&out, static_cast<uint32_t>(n));
+  PutFixed64BE(&out, n > 0 ? static_cast<uint64_t>(values[0]) : 0);
+  if (n < 2) return col;
+  const size_t deltas = n - 1;
+  const size_t ctrl_off = out.size();
+  out.resize(ctrl_off + (deltas + 3) / 4, 0);
+  for (size_t i = 1; i < n; ++i) {
+    // Wrap-safe delta in the uint64 domain (same value bits as int64).
+    uint64_t delta = static_cast<uint64_t>(values[i]) -
+                     static_cast<uint64_t>(values[i - 1]);
+    uint64_t z = ZigZagEncode64(static_cast<int64_t>(delta));
+    unsigned code = z <= 0xFF             ? 0
+                    : z <= 0xFFFF         ? 1
+                    : z <= 0xFFFFFFFFull  ? 2
+                                          : 3;
+    out[ctrl_off + (i - 1) / 4] |=
+        static_cast<uint8_t>(code << (2 * ((i - 1) % 4)));
+    size_t len = size_t{1} << code;
+    for (size_t b = 0; b < len; ++b) {
+      out.push_back(static_cast<uint8_t>(z >> (8 * b)));
+    }
+  }
+  return col;
+}
+
+Result<StreamVByteColumn> StreamVByteColumn::Parse(const uint8_t* data,
+                                                   size_t size) {
+  if (size < 12) return Status::Corruption("streamvbyte: header truncated");
+  StreamVByteColumn col;
+  col.count_ = GetFixed32BE(data);
+  col.first_value_ = static_cast<int64_t>(GetFixed64BE(data + 4));
+  const size_t deltas = col.count_ > 0 ? col.count_ - 1 : 0;
+  col.control_bytes_ = (deltas + 3) / 4;
+  if (12 + col.control_bytes_ > size) {
+    return Status::Corruption("streamvbyte: control truncated");
+  }
+  col.control_ = data + 12;
+  col.data_ = data + 12 + col.control_bytes_;
+  col.data_bytes_ = size - 12 - col.control_bytes_;
+  // Every delta takes 1 to 8 data bytes; anything outside that envelope is
+  // structurally corrupt regardless of control contents.
+  if (col.data_bytes_ < deltas || col.data_bytes_ > 8 * deltas) {
+    return Status::Corruption("streamvbyte: data size out of range");
+  }
+  return col;
+}
+
+Status StreamVByteColumn::DecodeAll(int64_t* out) const {
+  if (count_ == 0) return Status::Ok();
+  out[0] = first_value_;
+  uint64_t prev = static_cast<uint64_t>(first_value_);
+  size_t pos = 0;
+  for (uint32_t i = 1; i < count_; ++i) {
+    unsigned code = (control_[(i - 1) >> 2] >> (2 * ((i - 1) & 3))) & 3;
+    size_t len = size_t{1} << code;
+    if (pos + len > data_bytes_) {
+      return Status::Corruption("streamvbyte: data truncated");
+    }
+    uint64_t z = 0;
+    for (size_t b = 0; b < len; ++b) {
+      z |= static_cast<uint64_t>(data_[pos + b]) << (8 * b);
+    }
+    pos += len;
+    prev += static_cast<uint64_t>(ZigZagDecode64(z));
+    out[i] = static_cast<int64_t>(prev);
+  }
+  if (pos != data_bytes_) {
+    return Status::Corruption("streamvbyte: trailing data bytes");
+  }
+  return Status::Ok();
+}
+
+}  // namespace etsqp::enc

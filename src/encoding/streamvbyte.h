@@ -1,0 +1,60 @@
+#ifndef ETSQP_ENCODING_STREAMVBYTE_H_
+#define ETSQP_ENCODING_STREAMVBYTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "encoding/format.h"
+
+namespace etsqp::enc {
+
+/// StreamVByte (Plaisance, Kurz & Lemire, "Vectorized VByte Decoding"),
+/// widened to 64-bit deltas for timestamp columns: the control stream is
+/// separated from the data stream so a vectorized decoder can translate
+/// each control byte into one shuffle instead of branching per byte. The
+/// ingest-side encoder is branch-light and byte-aligned — a fast-ingest
+/// alternative to TS2DIFF's bit-packed blocks.
+///
+/// Serialized layout:
+///   u32 count | i64 first_value
+///   | control bytes: ceil((count-1)/4), 2 bits per delta
+///   | data bytes: little-endian zigzag deltas
+/// Control code c in {0,1,2,3} means the delta occupies 1 << c bytes
+/// (1, 2, 4, 8) — the four classes cover the full int64 range, so encoding
+/// never fails. Delta i (1-based) owns bits 2*((i-1)%4) of control byte
+/// (i-1)/4; unused trailing slots of the last control byte are zero.
+
+class StreamVByteEncoder {
+ public:
+  EncodedColumn Encode(const int64_t* values, size_t n) const;
+};
+
+class StreamVByteColumn {
+ public:
+  static Result<StreamVByteColumn> Parse(const uint8_t* data, size_t size);
+
+  uint32_t count() const { return count_; }
+  int64_t first_value() const { return first_value_; }
+
+  /// Raw streams, for the vectorized decoder in src/simd.
+  const uint8_t* control() const { return control_; }
+  size_t control_bytes() const { return control_bytes_; }
+  const uint8_t* data() const { return data_; }
+  size_t data_bytes() const { return data_bytes_; }
+
+  /// Reference scalar decode into out[count()].
+  Status DecodeAll(int64_t* out) const;
+
+ private:
+  uint32_t count_ = 0;
+  int64_t first_value_ = 0;
+  const uint8_t* control_ = nullptr;
+  size_t control_bytes_ = 0;
+  const uint8_t* data_ = nullptr;
+  size_t data_bytes_ = 0;
+};
+
+}  // namespace etsqp::enc
+
+#endif  // ETSQP_ENCODING_STREAMVBYTE_H_

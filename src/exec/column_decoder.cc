@@ -13,9 +13,11 @@
 #include "encoding/gorilla.h"
 #include "encoding/rlbe.h"
 #include "encoding/sprintz.h"
+#include "encoding/streamvbyte.h"
 #include "encoding/ts2diff.h"
 #include "simd/delta_simd.h"
 #include "simd/rle_flatten.h"
+#include "simd/streamvbyte_simd.h"
 #include "simd/transposed_unpack.h"
 #include "simd/unpack.h"
 
@@ -404,6 +406,30 @@ Status DecodeColumnRange(const uint8_t* data, size_t size,
       full.values64.resize(count);
       ETSQP_RETURN_IF_ERROR(
           enc::GorillaTimestampDecode(col, full.values64.data()));
+      break;
+    }
+    case enc::ColumnEncoding::kStreamVByte: {
+      Result<enc::StreamVByteColumn> parsed =
+          enc::StreamVByteColumn::Parse(data, size);
+      if (!parsed.ok()) return parsed.status();
+      const enc::StreamVByteColumn& col = parsed.value();
+      if (col.count() != count) {
+        return Status::Corruption("streamvbyte count");
+      }
+      full.narrow = false;
+      full.values64.resize(count);
+      if (count == 0) break;
+      if (strategy != DecodeStrategy::kSerial && UseAvx2()) {
+        // Shuffle-LUT decode (two PSHUFB per 4-delta group) + prefix sum.
+        if (!simd::StreamVByteDecodeSse(col.control(), col.control_bytes(),
+                                        col.data(), col.data_bytes(),
+                                        count - 1, col.first_value(),
+                                        full.values64.data())) {
+          return Status::Corruption("streamvbyte: data truncated");
+        }
+      } else {
+        ETSQP_RETURN_IF_ERROR(col.DecodeAll(full.values64.data()));
+      }
       break;
     }
     case enc::ColumnEncoding::kPlain: {

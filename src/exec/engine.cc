@@ -15,6 +15,7 @@
 #include "exec/pipeline_job.h"
 #include "exec/tail_kernel.h"
 #include "simd/filter_simd.h"
+#include "simd/merge_simd.h"
 #include "storage/page_builder.h"
 
 namespace etsqp::exec {
@@ -55,6 +56,24 @@ struct JobSchedule {
     if (decision == nullptr || start_nanos == 0) return;
     NoteDecisionOutcome(*decision, job.end - job.begin,
                         metrics::NowNanos() - start_nanos, local);
+  }
+};
+
+/// The merge stage's planned kernel: the registry decision (for EXPLAIN
+/// and outcome scoring) plus the datapath the merge kernels run on. When
+/// the registry did not plan the stage, the datapath follows the engine's
+/// pinned strategy (kSerial pins the scalar reference kernels).
+struct MergeSchedule {
+  const ScheduleDecision* decision = nullptr;
+  simd::MergeIsa isa = simd::MergeIsa::kScalar;
+
+  MergeSchedule(const PipelineOptions& base, const PipelineSpec& spec) {
+    if (spec.merge_decision >= 0) {
+      decision = &spec.decisions[spec.merge_decision];
+      isa = MergeEntryIsa(decision->entry->name());
+    } else if (base.strategy != DecodeStrategy::kSerial) {
+      isa = simd::BestMergeIsa();
+    }
   }
 };
 
@@ -579,85 +598,95 @@ Result<QueryResult> Engine::ExecuteBinary(const LogicalPlan& plan,
                                           &result.stats));
   const Materialized& l = inputs[0];
   const Materialized& r = inputs[1];
+  const size_t nl = l.times.size();
+  const size_t nr = r.times.size();
 
-  ScopedStageTimer merge_timer(StagesOf(options_, &result.stats),
-                               Stage::kMerge);
-  merge_timer.AddTuples(l.times.size() + r.times.size());
-  if (plan.kind == LogicalPlan::Kind::kUnion) {
-    // Q5: series concatenation merged by time (Eq. 5).
-    result.column_names = {"time", "value"};
-    result.columns.assign(2, {});
-    result.columns[0].reserve(l.times.size() + r.times.size());
-    result.columns[1].reserve(l.times.size() + r.times.size());
-    size_t i = 0, j = 0;
-    while (i < l.times.size() || j < r.times.size()) {
-      bool take_left =
-          j >= r.times.size() ||
-          (i < l.times.size() && l.times[i] <= r.times[j]);
-      if (take_left) {
-        result.columns[0].push_back(static_cast<double>(l.times[i]));
-        result.columns[1].push_back(static_cast<double>(l.values[i]));
-        ++i;
+  // The merge stage runs as its own (single) pipeline job so it lands in
+  // the job scheduler, carries a per-stage `merge` ExecStats breakout, and
+  // scores its registry decision like any decode job.
+  MergeSchedule msched(options_, spec.value());
+  QueryStats merge_stats;
+  PipelineJobSet set;
+  set.num_jobs = 1;
+  set.job = [&](size_t) -> Status {
+    const uint64_t t0 = (msched.decision != nullptr && options_.collect_stats)
+                            ? metrics::NowNanos()
+                            : 0;
+    {
+      ScopedStageTimer merge_timer(StagesOf(options_, &merge_stats),
+                                   Stage::kMerge);
+      merge_timer.AddTuples(nl + nr);
+      if (plan.kind == LogicalPlan::Kind::kUnion) {
+        // Q5: series concatenation merged by time (Eq. 5).
+        result.column_names = {"time", "value"};
+        result.columns.assign(2, {});
+        std::vector<int64_t> out_t(nl + nr);
+        std::vector<int64_t> out_v(nl + nr);
+        size_t m = simd::MergeUnionInt64(l.times.data(), l.values.data(), nl,
+                                         r.times.data(), r.values.data(), nr,
+                                         out_t.data(), out_v.data(),
+                                         msched.isa);
+        result.columns[0].assign(out_t.begin(), out_t.begin() + m);
+        result.columns[1].assign(out_v.begin(), out_v.begin() + m);
       } else {
-        result.columns[0].push_back(static_cast<double>(r.times[j]));
-        result.columns[1].push_back(static_cast<double>(r.values[j]));
-        ++j;
+        // Q4/Q6: natural join on timestamps (Eq. 6). The intersection
+        // kernel emits aligned index pairs (k-th match on each side), then
+        // the matched tuples project in time order.
+        bool project = plan.kind == LogicalPlan::Kind::kProjectBinary;
+        const size_t cap = std::min(nl, nr);
+        std::vector<uint32_t> il(cap);
+        std::vector<uint32_t> ir(cap);
+        size_t matches =
+            simd::IntersectIndicesInt64(l.times.data(), nl, r.times.data(),
+                                        nr, il.data(), ir.data(), msched.isa);
+        if (project) {
+          result.column_names = {"time", "expr"};
+          result.columns.assign(2, {});
+        } else {
+          result.column_names = {"time", "left", "right"};
+          result.columns.assign(3, {});
+        }
+        for (auto& col : result.columns) col.reserve(matches);
+        auto inter_ok = [&plan](int64_t a, int64_t b) {
+          switch (plan.inter_column_op) {
+            case '<':
+              return a < b;
+            case '>':
+              return a > b;
+            case '=':
+              return a == b;
+            default:
+              return true;
+          }
+        };
+        for (size_t k = 0; k < matches; ++k) {
+          int64_t a = l.values[il[k]];
+          int64_t b = r.values[ir[k]];
+          if (!inter_ok(a, b)) continue;  // Eq. 3: filter on decoded vectors
+          result.columns[0].push_back(static_cast<double>(l.times[il[k]]));
+          if (project) {
+            int64_t v = plan.binary_op == '-'   ? a - b
+                        : plan.binary_op == '*' ? a * b
+                                                : a + b;
+            result.columns[1].push_back(static_cast<double>(v));
+          } else {
+            result.columns[1].push_back(static_cast<double>(a));
+            result.columns[2].push_back(static_cast<double>(b));
+          }
+        }
       }
     }
-  } else {
-    // Q4/Q6: natural join on timestamps (Eq. 6). The join produces mask
-    // vectors over both inputs — the representation the pipeline shares
-    // with the value columns (Figure 9) — then the masked tuples are
-    // emitted in time order.
-    bool project = plan.kind == LogicalPlan::Kind::kProjectBinary;
-    std::vector<uint64_t> mask_l(CeilDiv(l.times.size(), 64) + 1);
-    std::vector<uint64_t> mask_r(CeilDiv(r.times.size(), 64) + 1);
-    size_t matches = simd::JoinMasksInt64(l.times.data(), l.times.size(),
-                                          r.times.data(), r.times.size(),
-                                          mask_l.data(), mask_r.data());
-    if (project) {
-      result.column_names = {"time", "expr"};
-      result.columns.assign(2, {});
-    } else {
-      result.column_names = {"time", "left", "right"};
-      result.columns.assign(3, {});
+    if (t0 != 0) {
+      NoteDecisionOutcome(*msched.decision, nl + nr,
+                          metrics::NowNanos() - t0, &merge_stats);
     }
-    for (auto& col : result.columns) col.reserve(matches);
-    // The k-th set bit of mask_l pairs with the k-th set bit of mask_r
-    // (matches appear in the same time order on both sides).
-    auto inter_ok = [&plan](int64_t a, int64_t b) {
-      switch (plan.inter_column_op) {
-        case '<':
-          return a < b;
-        case '>':
-          return a > b;
-        case '=':
-          return a == b;
-        default:
-          return true;
-      }
-    };
-    size_t i = 0, j = 0;
-    for (size_t k = 0; k < matches; ++k) {
-      while (!(mask_l[i >> 6] & (1ull << (i & 63)))) ++i;
-      while (!(mask_r[j >> 6] & (1ull << (j & 63)))) ++j;
-      int64_t a = l.values[i];
-      int64_t b = r.values[j];
-      ++i;
-      ++j;
-      if (!inter_ok(a, b)) continue;  // Eq. 3: filter on decoded vectors
-      result.columns[0].push_back(static_cast<double>(l.times[i - 1]));
-      if (project) {
-        int64_t v = plan.binary_op == '-'   ? a - b
-                    : plan.binary_op == '*' ? a * b
-                                            : a + b;
-        result.columns[1].push_back(static_cast<double>(v));
-      } else {
-        result.columns[1].push_back(static_cast<double>(a));
-        result.columns[2].push_back(static_cast<double>(b));
-      }
-    }
-  }
+    return Status::Ok();
+  };
+  set.merge = [&]() -> Status {
+    result.stats.Merge(merge_stats);
+    return Status::Ok();
+  };
+  ETSQP_RETURN_IF_ERROR(RunPipelineJobs(set, options_, &result.stats));
   result.stats.result_tuples = result.num_rows();
   return result;
 }
@@ -804,25 +833,38 @@ Result<QueryResult> Engine::ExecuteCorrelate(const LogicalPlan& plan,
                                           &result.stats));
   const Materialized& l = inputs[0];
   const Materialized& r = inputs[1];
-  std::vector<uint64_t> mask_l(CeilDiv(l.times.size(), 64) + 1);
-  std::vector<uint64_t> mask_r(CeilDiv(r.times.size(), 64) + 1);
-  size_t matches = simd::JoinMasksInt64(l.times.data(), l.times.size(),
-                                        r.times.data(), r.times.size(),
-                                        mask_l.data(), mask_r.data());
-  size_t i = 0, j = 0;
-  for (size_t k = 0; k < matches; ++k) {
-    while (!(mask_l[i >> 6] & (1ull << (i & 63)))) ++i;
-    while (!(mask_r[j >> 6] & (1ull << (j & 63)))) ++j;
-    int64_t a = l.values[i];
-    int64_t b = r.values[j];
-    accum.sum_a += a;
-    accum.sum_b += b;
-    accum.sum_a2 += static_cast<__int128>(a) * a;
-    accum.sum_b2 += static_cast<__int128>(b) * b;
-    accum.sum_ab += static_cast<__int128>(a) * b;
-    ++accum.n;
-    ++i;
-    ++j;
+  const size_t nl = l.times.size();
+  const size_t nr = r.times.size();
+  MergeSchedule msched(options_, spec.value());
+  {
+    const uint64_t t0 = (msched.decision != nullptr && options_.collect_stats)
+                            ? metrics::NowNanos()
+                            : 0;
+    {
+      ScopedStageTimer merge_timer(StagesOf(options_, &result.stats),
+                                   Stage::kMerge);
+      merge_timer.AddTuples(nl + nr);
+      const size_t cap = std::min(nl, nr);
+      std::vector<uint32_t> il(cap);
+      std::vector<uint32_t> ir(cap);
+      size_t matches =
+          simd::IntersectIndicesInt64(l.times.data(), nl, r.times.data(), nr,
+                                      il.data(), ir.data(), msched.isa);
+      for (size_t k = 0; k < matches; ++k) {
+        int64_t a = l.values[il[k]];
+        int64_t b = r.values[ir[k]];
+        accum.sum_a += a;
+        accum.sum_b += b;
+        accum.sum_a2 += static_cast<__int128>(a) * a;
+        accum.sum_b2 += static_cast<__int128>(b) * b;
+        accum.sum_ab += static_cast<__int128>(a) * b;
+        ++accum.n;
+      }
+    }
+    if (t0 != 0) {
+      NoteDecisionOutcome(*msched.decision, nl + nr,
+                          metrics::NowNanos() - t0, &result.stats);
+    }
   }
   accum.Finish(&result);
   result.stats.result_tuples = result.num_rows();

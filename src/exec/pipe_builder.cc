@@ -205,6 +205,14 @@ Result<PipelineSpec> BuildPipeline(
       }
     }
   }
+  // Multi-input plans end in a merge stage; plan its kernel through the
+  // registry like any page class. The stage sees every surviving input
+  // tuple once, so it covers the non-pruned tuple volume.
+  if (inputs.size() > 1) {
+    spec.merge_decision =
+        decisions.Decide(ClassifyMerge(static_cast<int>(inputs.size())));
+    decisions.Cover(spec.merge_decision, 0, spec.plan_stats.tuples_in_pages);
+  }
   return spec;
 }
 

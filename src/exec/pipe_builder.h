@@ -51,6 +51,10 @@ struct PipelineSpec {
   std::vector<PipeJob> jobs;
   std::vector<ScheduleDecision> decisions;
   QueryStats plan_stats;  // pages_total / pages_pruned / tuples_in_pages
+  /// Index into `decisions` for the merge stage of multi-input plans
+  /// (binary/correlate/concat): which etsqp.merge.* kernel combines the
+  /// per-input streams. -1 = single input or registry off.
+  int merge_decision = -1;
 };
 
 /// Plan-time registry lookups, one per distinct page class: classes are

@@ -50,7 +50,9 @@ bool FusableFunc(AggFunc func, enc::ColumnEncoding venc) {
          (func == AggFunc::kVariance && venc == enc::ColumnEncoding::kDeltaRle);
 }
 
-bool IntSealed(const PageClass& cls) { return cls.sealed && !cls.is_float; }
+bool IntSealed(const PageClass& cls) {
+  return cls.sealed && !cls.is_float && !cls.merge;
+}
 
 /// --- Concrete entries ----------------------------------------------------
 
@@ -186,7 +188,7 @@ class XorFloatEntry : public SchedulerEntry {
   const char* name() const override { return "xor.float"; }
   int priority() const override { return 50; }
   bool CanSchedule(const PageClass& cls, const PlanContext&) const override {
-    return cls.sealed && cls.is_float;
+    return cls.sealed && cls.is_float && !cls.merge;
   }
   HeuristicParams Params(const PageClass&, const PlanContext&) const override {
     return {DecodeStrategy::kEtsqp, 0, false, false};
@@ -234,9 +236,65 @@ class SerialEntry : public SchedulerEntry {
   }
 };
 
+/// --- Merge-stage entries (simd/merge_simd.h kernel family) ----------------
+/// These schedule the N-way timestamp merge/intersection stage of binary,
+/// correlate, and concatenation plans — a per-tuple stream operation, not a
+/// page decode, so they get their own class ("merge/2way", "merge/nway")
+/// and their own calibration rows.
+
+class MergeAvx512Entry : public SchedulerEntry {
+ public:
+  const char* name() const override { return "etsqp.merge.avx512"; }
+  int priority() const override { return 88; }
+  bool CanSchedule(const PageClass& cls, const PlanContext&) const override {
+    return cls.merge && UseAvx2() && simd::Avx512Available();
+  }
+  HeuristicParams Params(const PageClass&, const PlanContext&) const override {
+    return {DecodeStrategy::kEtsqp, 0, false, false};
+  }
+  double PredictCost(const PageClass&, const PlanContext&,
+                     const CostConstants& c) const override {
+    // Block-skip compares amortize over 8 lanes.
+    return (c.t_vis_mem + c.t_op) / 8.0 + c.t_add / 8.0;
+  }
+};
+
+class MergeAvx2Entry : public SchedulerEntry {
+ public:
+  const char* name() const override { return "etsqp.merge.avx2"; }
+  int priority() const override { return 86; }
+  bool CanSchedule(const PageClass& cls, const PlanContext&) const override {
+    return cls.merge && UseAvx2();
+  }
+  HeuristicParams Params(const PageClass&, const PlanContext&) const override {
+    return {DecodeStrategy::kEtsqp, 0, false, false};
+  }
+  double PredictCost(const PageClass&, const PlanContext&,
+                     const CostConstants& c) const override {
+    return (c.t_vis_mem + c.t_op) / 4.0 + c.t_add / 4.0;
+  }
+};
+
+class MergeScalarEntry : public SchedulerEntry {
+ public:
+  const char* name() const override { return "etsqp.merge.scalar"; }
+  int priority() const override { return 12; }
+  bool CanSchedule(const PageClass& cls, const PlanContext&) const override {
+    return cls.merge;
+  }
+  HeuristicParams Params(const PageClass&, const PlanContext&) const override {
+    return {DecodeStrategy::kSerial, 0, false, false};
+  }
+  double PredictCost(const PageClass&, const PlanContext&,
+                     const CostConstants& c) const override {
+    return c.t_vis_mem + c.t_op + c.t_add;
+  }
+};
+
 }  // namespace
 
 std::string PageClass::Key() const {
+  if (merge) return merge_ways <= 2 ? "merge/2way" : "merge/nway";
   if (!sealed) return is_float ? "tail/f64" : "tail";
   std::string key = enc::ColumnEncodingName(value_encoding);
   if (is_float) {
@@ -271,6 +329,24 @@ PageClass ClassifyTail(const storage::SeriesSnapshot& snap) {
   return cls;
 }
 
+PageClass ClassifyMerge(int ways) {
+  PageClass cls;
+  cls.merge = true;
+  cls.merge_ways = ways;
+  cls.sealed = true;
+  cls.width_bucket = 64;  // materialized int64 streams
+  cls.value_encoding = enc::ColumnEncoding::kPlain;
+  cls.time_encoding = enc::ColumnEncoding::kPlain;
+  return cls;
+}
+
+simd::MergeIsa MergeEntryIsa(const std::string& entry_name) {
+  if (entry_name == "etsqp.merge.avx512") return simd::MergeIsa::kAvx512;
+  if (entry_name == "etsqp.merge.avx2") return simd::MergeIsa::kAvx2;
+  if (entry_name == "etsqp.merge.scalar") return simd::MergeIsa::kScalar;
+  return simd::BestMergeIsa();
+}
+
 PlanContext MakePlanContext(const LogicalPlan& plan,
                             const PipelineOptions& options) {
   PlanContext ctx;
@@ -300,6 +376,9 @@ SchedulerRegistry::SchedulerRegistry() {
   entries_.push_back(std::make_unique<XorFloatEntry>());
   entries_.push_back(std::make_unique<TailScalarEntry>());
   entries_.push_back(std::make_unique<SerialEntry>());
+  entries_.push_back(std::make_unique<MergeAvx512Entry>());
+  entries_.push_back(std::make_unique<MergeAvx2Entry>());
+  entries_.push_back(std::make_unique<MergeScalarEntry>());
 }
 
 const SchedulerRegistry& SchedulerRegistry::Global() {
@@ -540,6 +619,37 @@ CostCalibration CostCalibration::Measure() {
                                  /*is_float=*/true, n);
         if (ns >= 0) cal.Set(entry->name(), cls.Key(), ns);
       }
+    }
+  }
+
+  // Merge-stage probe: two 4096-element sorted streams with ~50% overlap,
+  // timed through intersection + union per schedulable merge entry.
+  {
+    const size_t mn = n;
+    std::vector<int64_t> lt(mn), rt(mn), lv(mn, 0), rv(mn, 0);
+    for (size_t i = 0; i < mn; ++i) {
+      lt[i] = static_cast<int64_t>(2 * i);
+      rt[i] = static_cast<int64_t>(i % 2 == 0 ? 2 * i : 2 * i + 1);
+    }
+    std::vector<uint32_t> il(mn), ir(mn);
+    std::vector<int64_t> out_t(2 * mn), out_v(2 * mn);
+    PageClass cls = ClassifyMerge(2);
+    for (const auto& entry : reg.entries()) {
+      if (!entry->CanSchedule(cls, ctx)) continue;
+      simd::MergeIsa isa = MergeEntryIsa(entry->name());
+      constexpr int kReps = 7;
+      uint64_t best = UINT64_MAX;
+      for (int rep = 0; rep <= kReps; ++rep) {  // rep 0 is warm-up
+        uint64_t t0 = metrics::NowNanos();
+        simd::IntersectIndicesInt64(lt.data(), mn, rt.data(), mn, il.data(),
+                                    ir.data(), isa);
+        simd::MergeUnionInt64(lt.data(), lv.data(), mn, rt.data(), rv.data(),
+                              mn, out_t.data(), out_v.data(), isa);
+        uint64_t dt = metrics::NowNanos() - t0;
+        if (rep > 0 && dt < best) best = dt;
+      }
+      cal.Set(entry->name(), cls.Key(),
+              static_cast<double>(best) / static_cast<double>(2 * mn));
     }
   }
   return cal;

@@ -10,6 +10,7 @@
 #include "exec/cost_model.h"
 #include "exec/expr.h"
 #include "exec/pipeline.h"
+#include "simd/merge_simd.h"
 #include "storage/page.h"
 #include "storage/series_store.h"
 
@@ -40,9 +41,14 @@ struct PageClass {
   int width_bucket = 0;  // 0 for float columns (XOR streams have no width)
   bool sealed = true;    // false = unsealed in-memory tail
   bool is_float = false;
+  // Merge-stage classes: not a page at all but the N-way timestamp
+  // merge/intersection work of a binary/correlate/concat plan. Only the
+  // etsqp.merge.* entries schedule these.
+  bool merge = false;
+  int merge_ways = 0;
 
   /// Stable cache/display key, e.g. "TS2DIFF/w8", "GORILLA_VALUE/f64",
-  /// "tail", "tail/f64".
+  /// "tail", "tail/f64", "merge/2way".
   std::string Key() const;
 };
 
@@ -50,6 +56,13 @@ struct PageClass {
 /// at plan time, so cache keys always line up with planner buckets).
 PageClass ClassifyPage(const storage::PageHeader& header);
 PageClass ClassifyTail(const storage::SeriesSnapshot& snap);
+
+/// The merge stage of a plan combining `ways` sorted operand streams.
+PageClass ClassifyMerge(int ways);
+
+/// Maps a chosen etsqp.merge.* entry name to the merge-kernel datapath the
+/// engine should run; unknown names fall back to BestMergeIsa().
+simd::MergeIsa MergeEntryIsa(const std::string& entry_name);
 
 /// The plan-shape facts entries gate on.
 struct PlanContext {

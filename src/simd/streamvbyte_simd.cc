@@ -1,0 +1,105 @@
+#include "simd/streamvbyte_simd.h"
+
+#include <immintrin.h>
+
+#include "common/bit_util.h"
+
+namespace etsqp::simd {
+
+namespace {
+
+/// Per-control-byte shuffle plans. A control byte describes four deltas of
+/// 1 << code bytes each; lanes 0/1 shuffle out of the 16-byte window at the
+/// group's data offset, lanes 2/3 out of the window at offset len0+len1
+/// (so every window is a plain 16-byte load: len0+len1 and len2+len3 are
+/// both at most 16).
+struct SvbLut {
+  uint8_t len01[256];
+  uint8_t len23[256];
+  alignas(16) uint8_t mask01[256][16];
+  alignas(16) uint8_t mask23[256][16];
+};
+
+const SvbLut* GetLut() {
+  static const SvbLut* lut = [] {
+    SvbLut* t = new SvbLut();
+    for (int c = 0; c < 256; ++c) {
+      unsigned len[4];
+      for (int d = 0; d < 4; ++d) len[d] = 1u << ((c >> (2 * d)) & 3);
+      t->len01[c] = static_cast<uint8_t>(len[0] + len[1]);
+      t->len23[c] = static_cast<uint8_t>(len[2] + len[3]);
+      for (unsigned b = 0; b < 8; ++b) {
+        t->mask01[c][b] = b < len[0] ? static_cast<uint8_t>(b) : 0x80;
+        t->mask01[c][8 + b] =
+            b < len[1] ? static_cast<uint8_t>(len[0] + b) : 0x80;
+        t->mask23[c][b] = b < len[2] ? static_cast<uint8_t>(b) : 0x80;
+        t->mask23[c][8 + b] =
+            b < len[3] ? static_cast<uint8_t>(len[2] + b) : 0x80;
+      }
+    }
+    return t;
+  }();
+  return lut;
+}
+
+inline __m128i ZigZagDecode2x64(__m128i z) {
+  __m128i shifted = _mm_srli_epi64(z, 1);
+  __m128i sign = _mm_sub_epi64(_mm_setzero_si128(),
+                               _mm_and_si128(z, _mm_set1_epi64x(1)));
+  return _mm_xor_si128(shifted, sign);
+}
+
+}  // namespace
+
+bool StreamVByteDecodeSse(const uint8_t* control, size_t control_bytes,
+                          const uint8_t* data, size_t data_bytes,
+                          size_t deltas, int64_t first, int64_t* out) {
+  out[0] = first;
+  uint64_t prev = static_cast<uint64_t>(first);
+  if (control_bytes < (deltas + 3) / 4) return false;
+  const SvbLut& lut = *GetLut();
+  size_t pos = 0;
+  size_t emitted = 1;
+  size_t group = 0;
+  const size_t full_groups = deltas / 4;
+  alignas(16) int64_t lane[4];
+  for (; group < full_groups; ++group) {
+    const uint8_t c = control[group];
+    // Both window loads read 16 bytes; near the stream tail the scalar
+    // loop below finishes the job instead of overreading.
+    if (pos + lut.len01[c] + 16 > data_bytes) break;
+    __m128i w0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    __m128i w1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(data + pos + lut.len01[c]));
+    __m128i z01 = _mm_shuffle_epi8(
+        w0, _mm_load_si128(reinterpret_cast<const __m128i*>(lut.mask01[c])));
+    __m128i z23 = _mm_shuffle_epi8(
+        w1, _mm_load_si128(reinterpret_cast<const __m128i*>(lut.mask23[c])));
+    _mm_store_si128(reinterpret_cast<__m128i*>(lane), ZigZagDecode2x64(z01));
+    _mm_store_si128(reinterpret_cast<__m128i*>(lane + 2),
+                    ZigZagDecode2x64(z23));
+    // The prefix sum stays scalar: four dependent adds per group are
+    // cheaper than a 64-bit shift network at this lane count.
+    for (int d = 0; d < 4; ++d) {
+      prev += static_cast<uint64_t>(lane[d]);
+      out[emitted++] = static_cast<int64_t>(prev);
+    }
+    pos += static_cast<size_t>(lut.len01[c]) + lut.len23[c];
+  }
+  for (size_t d = group * 4; d < deltas; ++d) {
+    unsigned code = (control[d >> 2] >> (2 * (d & 3))) & 3;
+    size_t len = size_t{1} << code;
+    if (pos + len > data_bytes) return false;
+    uint64_t z = 0;
+    for (size_t b = 0; b < len; ++b) {
+      z |= static_cast<uint64_t>(data[pos + b]) << (8 * b);
+    }
+    pos += len;
+    prev += static_cast<uint64_t>(ZigZagDecode64(z));
+    out[emitted++] = static_cast<int64_t>(prev);
+  }
+  return pos == data_bytes;
+}
+
+}  // namespace etsqp::simd

@@ -1,0 +1,31 @@
+#ifndef ETSQP_SIMD_STREAMVBYTE_SIMD_H_
+#define ETSQP_SIMD_STREAMVBYTE_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace etsqp::simd {
+
+/// Vectorized StreamVByte decoding (Plaisance, Kurz & Lemire): each control
+/// byte translates through a 256-entry lookup table into shuffle masks, so
+/// a group of four variable-length deltas decodes with two PSHUFB ops and
+/// zero per-byte branches. Widened to the 64-bit delta classes of the
+/// timestamp codec (1/2/4/8-byte little-endian zigzag deltas, two lanes per
+/// 128-bit shuffle).
+///
+/// Decodes `deltas` zigzag deltas from the split (control, data) streams
+/// and prefix-sums them onto `first`: out[0] = first, out[i] = out[i-1] +
+/// delta_i (wrap-safe). `out` must hold deltas + 1 values. Returns false
+/// when the data stream is shorter than the control codes require or
+/// longer than they consume — the caller maps that to Corruption.
+///
+/// Requires SSSE3 (shuffle); the engine gates on UseAvx2() which implies
+/// it. Groups within 16 bytes of the data tail fall back to the scalar
+/// loop so vector loads never read past the stream.
+bool StreamVByteDecodeSse(const uint8_t* control, size_t control_bytes,
+                          const uint8_t* data, size_t data_bytes,
+                          size_t deltas, int64_t first, int64_t* out);
+
+}  // namespace etsqp::simd
+
+#endif  // ETSQP_SIMD_STREAMVBYTE_SIMD_H_

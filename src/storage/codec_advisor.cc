@@ -140,12 +140,18 @@ CodecAdvisor::Advice Pick(std::vector<Trial> trials,
 
 }  // namespace
 
+bool CodecAdvisor::DecodeSupported(enc::ColumnEncoding e) const {
+  return options_.decode_support ? options_.decode_support(e)
+                                 : PageDecodeSupported(e);
+}
+
 CodecAdvisor::Advice CodecAdvisor::AdviseInt(const int64_t* values, size_t n,
                                              enc::ColumnEncoding current,
                                              uint32_t block_size) const {
   ColumnShape shape = SummarizeInts(values, n);
-  std::vector<enc::ColumnEncoding> candidates = {current,
-                                                 enc::ColumnEncoding::kTs2Diff};
+  std::vector<enc::ColumnEncoding> candidates = {
+      current, enc::ColumnEncoding::kTs2Diff,
+      enc::ColumnEncoding::kStreamVByte};
   if (shape.mean_run >= 1.5 || shape.mean_delta_run >= 1.5) {
     candidates.push_back(enc::ColumnEncoding::kRlbe);
     candidates.push_back(enc::ColumnEncoding::kDeltaRle);
@@ -159,6 +165,7 @@ CodecAdvisor::Advice CodecAdvisor::AdviseInt(const int64_t* values, size_t n,
 
   std::vector<Trial> trials;
   for (enc::ColumnEncoding e : candidates) {
+    if (e != current && !DecodeSupported(e)) continue;
     size_t bytes = EncodedColumnBytes(values, n, e, block_size);
     if (bytes > 0) trials.push_back({e, bytes});
   }
@@ -175,6 +182,7 @@ CodecAdvisor::Advice CodecAdvisor::AdviseFloat(
   for (enc::ColumnEncoding e :
        {enc::ColumnEncoding::kGorillaValue, enc::ColumnEncoding::kChimpValue,
         enc::ColumnEncoding::kElfValue}) {
+    if (e != current && !DecodeSupported(e)) continue;
     size_t bytes = EncodedColumnBytesF64(values, n, e);
     if (bytes > 0) trials.push_back({e, bytes});
   }

@@ -46,10 +46,18 @@ class CodecAdvisor {
   /// (the tie-break then keeps pure size order).
   using CostHook = std::function<double(enc::ColumnEncoding, bool is_float)>;
 
+  /// Whether the serving path can decode `encoding`. The advisor never
+  /// proposes a codec this rejects — re-encoding into an undecodable format
+  /// would brick the series — and falls back to the incumbent instead.
+  using DecodeSupportHook = std::function<bool(enc::ColumnEncoding)>;
+
   struct Options {
     double min_gain = 0.05;
     double tie_band = 0.02;
     CostHook cost_hook;
+    /// Defaults to storage::PageDecodeSupported when unset; the db layer
+    /// wires a registry-backed check instead.
+    DecodeSupportHook decode_support;
   };
 
   struct Advice {
@@ -66,7 +74,8 @@ class CodecAdvisor {
   CodecAdvisor() = default;
   explicit CodecAdvisor(Options options) : options_(std::move(options)) {}
 
-  /// Integer column. Candidates: the current codec, TS2DIFF always, and
+  /// Integer column. Candidates: the current codec, TS2DIFF and StreamVByte
+  /// always (the latter the fast-ingest byte-aligned alternative), and
   /// RLBE / DeltaRle / Sprintz when the run / delta-width shape suggests
   /// them. `block_size` parameterizes the TS2DIFF trial.
   Advice AdviseInt(const int64_t* values, size_t n,
@@ -79,6 +88,7 @@ class CodecAdvisor {
   const Options& options() const { return options_; }
 
  private:
+  bool DecodeSupported(enc::ColumnEncoding e) const;
   Options options_;
 };
 

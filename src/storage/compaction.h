@@ -26,6 +26,9 @@ struct CompactionOptions {
   double min_gain = 0.05;
   double tie_band = 0.02;
   CodecAdvisor::CostHook cost_hook;
+  /// Serving-path decode support check (codec_advisor.h): re-encoding never
+  /// targets a codec this rejects. Unset = storage::PageDecodeSupported.
+  CodecAdvisor::DecodeSupportHook decode_support;
 };
 
 /// One shard's background compaction service. A pass over a series:

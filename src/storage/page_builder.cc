@@ -11,6 +11,7 @@
 #include "encoding/gorilla.h"
 #include "encoding/rlbe.h"
 #include "encoding/sprintz.h"
+#include "encoding/streamvbyte.h"
 #include "encoding/ts2diff.h"
 
 namespace etsqp::storage {
@@ -31,6 +32,8 @@ enc::EncodedColumn EncodeColumn(const int64_t* values, size_t n,
       return enc::SprintzEncoder().Encode(values, n);
     case enc::ColumnEncoding::kFastLanes:
       return enc::FastLanesEncoder().Encode(values, n);
+    case enc::ColumnEncoding::kStreamVByte:
+      return enc::StreamVByteEncoder().Encode(values, n);
     case enc::ColumnEncoding::kGorilla:
       // Delta-of-delta with prefix classes — Gorilla's time dimension
       // (Table I: +-, Flag, Pattern), a natural fit for timestamp columns.
@@ -136,6 +139,7 @@ size_t EncodedColumnBytes(const int64_t* values, size_t n,
     case enc::ColumnEncoding::kRlbe:
     case enc::ColumnEncoding::kSprintz:
     case enc::ColumnEncoding::kFastLanes:
+    case enc::ColumnEncoding::kStreamVByte:
     case enc::ColumnEncoding::kGorilla:
     case enc::ColumnEncoding::kPlain:
       return EncodeColumn(values, n, encoding, block_size).bytes.size();
@@ -205,6 +209,14 @@ Status DecodePageColumn(const AlignedBuffer& data, enc::ColumnEncoding encoding,
       if (!col.ok()) return col.status();
       return col.value().DecodeAll(out);
     }
+    case enc::ColumnEncoding::kStreamVByte: {
+      auto col = enc::StreamVByteColumn::Parse(data.data(), data.size());
+      if (!col.ok()) return col.status();
+      if (col.value().count() != count) {
+        return Status::Corruption("streamvbyte: count mismatch");
+      }
+      return col.value().DecodeAll(out);
+    }
     case enc::ColumnEncoding::kGorilla: {
       enc::EncodedColumn col;
       col.encoding = enc::ColumnEncoding::kGorilla;
@@ -223,6 +235,25 @@ Status DecodePageColumn(const AlignedBuffer& data, enc::ColumnEncoding encoding,
     }
     default:
       return Status::NotSupported("decode for this encoding");
+  }
+}
+
+bool PageDecodeSupported(enc::ColumnEncoding encoding) {
+  switch (encoding) {
+    case enc::ColumnEncoding::kTs2Diff:
+    case enc::ColumnEncoding::kDeltaRle:
+    case enc::ColumnEncoding::kRlbe:
+    case enc::ColumnEncoding::kSprintz:
+    case enc::ColumnEncoding::kFastLanes:
+    case enc::ColumnEncoding::kStreamVByte:
+    case enc::ColumnEncoding::kGorilla:
+    case enc::ColumnEncoding::kPlain:
+    case enc::ColumnEncoding::kGorillaValue:
+    case enc::ColumnEncoding::kChimpValue:
+    case enc::ColumnEncoding::kElfValue:
+      return true;
+    default:
+      return false;
   }
 }
 

@@ -35,6 +35,11 @@ Status DecodePageColumnF64(const AlignedBuffer& data, enc::ColumnEncoding enc,
 Status DecodePageColumn(const AlignedBuffer& data, enc::ColumnEncoding enc,
                         uint32_t count, int64_t* out);
 
+/// True when DecodePageColumn / DecodePageColumnF64 can decode `enc`. The
+/// codec advisor refuses to re-encode into anything this returns false for
+/// — a codec without a decode entry would brick the series.
+bool PageDecodeSupported(enc::ColumnEncoding enc);
+
 /// Trial encode for the codec advisor: the encoded byte size `values` would
 /// take under `encoding`, without building a page. Returns 0 when the
 /// encoding cannot hold this column (unknown/float encoding for ints).

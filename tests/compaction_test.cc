@@ -142,6 +142,46 @@ TEST(CodecAdvisorTest, CostHookBreaksSizeTies) {
       << "picked " << enc::ColumnEncodingName(a.encoding);
 }
 
+TEST(CodecAdvisorTest, DecodeSupportGateReturnsIncumbent) {
+  // A serving layer that can decode nothing but the incumbent: the advisor
+  // must return the current codec rather than propose an undecodable one.
+  std::vector<int64_t> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(i * 3);  // TS2DIFF heaven
+  CodecAdvisor::Options opt;
+  opt.min_gain = 0.0;
+  opt.decode_support = [](enc::ColumnEncoding e) {
+    return e == enc::ColumnEncoding::kPlain;
+  };
+  CodecAdvisor advisor{opt};
+  CodecAdvisor::Advice a = advisor.AdviseInt(
+      v.data(), v.size(), enc::ColumnEncoding::kPlain, /*block_size=*/1024);
+  EXPECT_EQ(a.encoding, enc::ColumnEncoding::kPlain)
+      << "proposed " << enc::ColumnEncodingName(a.encoding)
+      << " despite the decode-support gate rejecting it";
+
+  CodecAdvisor::Advice f = advisor.AdviseFloat(
+      nullptr, 0, enc::ColumnEncoding::kGorillaValue);
+  EXPECT_EQ(f.encoding, enc::ColumnEncoding::kGorillaValue);
+}
+
+TEST(CodecAdvisorTest, DecodeSupportGateFiltersSingleCodec) {
+  // Rejecting just one candidate removes it from the race but leaves the
+  // rest competing normally.
+  std::vector<int64_t> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(i * 3);
+  CodecAdvisor::Options opt;
+  opt.min_gain = 0.0;
+  opt.decode_support = [](enc::ColumnEncoding e) {
+    return e != enc::ColumnEncoding::kTs2Diff;
+  };
+  CodecAdvisor advisor{opt};
+  CodecAdvisor::Advice a = advisor.AdviseInt(
+      v.data(), v.size(), enc::ColumnEncoding::kPlain, /*block_size=*/1024);
+  EXPECT_NE(a.encoding, enc::ColumnEncoding::kTs2Diff);
+  EXPECT_NE(a.encoding, enc::ColumnEncoding::kPlain)
+      << "a decodable smaller codec should still beat plain";
+}
+
 // --- Compactor: merge / tombstones / TTL / out-of-order --------------------
 
 TEST(CompactorTest, MergesUndersizedPages) {

@@ -411,6 +411,35 @@ TEST(ResultCacheTest, AppendInvalidatesImplicitly) {
   EXPECT_EQ(fresh.value().columns[0][0], static_cast<double>(sum + 7));
 }
 
+/// A cached binary result depends on BOTH operands: the cache key must
+/// carry each series' epoch, so mutating only the right series invalidates
+/// a result whose left series is untouched.
+TEST(ResultCacheTest, MutatingRightOperandInvalidatesBinaryResult) {
+  Database db(Database::Options{Database::Mode::kSimd, 1, 1, 1 << 20});
+  FillSeries(&db, "a", 1000);
+  FillSeries(&db, "b", 1000);
+  const std::string join = "SELECT a.v + b.v FROM a, b;";
+  const std::string uni = "SELECT * FROM a UNION b ORDER BY TIME;";
+  for (const std::string& sql : {join, uni}) {
+    ASSERT_TRUE(db.Query(sql).ok());
+    ASSERT_EQ(db.Query(sql).value().stats.cache_hits, 1u) << sql;
+  }
+  const size_t rows_before = db.Query(uni).value().num_rows();
+
+  ASSERT_TRUE(db.Insert("b", 5000, 7).ok());  // right operand only
+
+  Result<exec::QueryResult> jfresh = db.Query(join);
+  ASSERT_TRUE(jfresh.ok());
+  EXPECT_EQ(jfresh.value().stats.cache_hits, 0u);
+  EXPECT_EQ(jfresh.value().stats.cache_misses, 1u)
+      << "stale hit: key missed the right operand's epoch";
+  Result<exec::QueryResult> ufresh = db.Query(uni);
+  ASSERT_TRUE(ufresh.ok());
+  EXPECT_EQ(ufresh.value().stats.cache_misses, 1u);
+  EXPECT_EQ(ufresh.value().num_rows(), rows_before + 1)
+      << "recomputed union must include the new right-side point";
+}
+
 /// A background-seal install advances the series epoch on its own — with no
 /// intervening append — so results cached over the unsealed tail go stale
 /// the moment the page lands.

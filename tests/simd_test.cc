@@ -13,8 +13,11 @@
 #include "simd/agg_simd.h"
 #include "simd/delta_simd.h"
 #include "simd/fib_simd.h"
+#include "encoding/streamvbyte.h"
 #include "simd/filter_simd.h"
+#include "simd/merge_simd.h"
 #include "simd/rle_flatten.h"
+#include "simd/streamvbyte_simd.h"
 #include "simd/transposed_unpack.h"
 #include "simd/transposed_unpack_avx512.h"
 #include "simd/unpack.h"
@@ -539,6 +542,328 @@ TEST(FibSimdTest, MatchesEncodedStream) {
     ASSERT_LT(ti, terms.size());
     EXPECT_EQ(terms[ti], end);
   }
+}
+
+// ------------------------------------------------------------ merge kernels
+
+/// Sorted stream with duplicate runs (1-3 long when allowed) separated by
+/// gaps of 1-64 — the shapes the merge kernels must agree on.
+std::vector<int64_t> RandomSortedTimes(std::mt19937_64& rng, size_t n,
+                                       bool allow_dups) {
+  std::vector<int64_t> t;
+  t.reserve(n);
+  int64_t cur = static_cast<int64_t>(rng() % 1000);
+  while (t.size() < n) {
+    size_t run = allow_dups ? 1 + rng() % 3 : 1;
+    for (size_t i = 0; i < run && t.size() < n; ++i) t.push_back(cur);
+    cur += 1 + static_cast<int64_t>(rng() % 64);
+  }
+  return t;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> IntersectWith(
+    const std::vector<int64_t>& l, const std::vector<int64_t>& r,
+    MergeIsa isa) {
+  std::vector<uint32_t> il(std::min(l.size(), r.size()));
+  std::vector<uint32_t> ir(il.size());
+  size_t m = IntersectIndicesInt64(l.data(), l.size(), r.data(), r.size(),
+                                   il.data(), ir.data(), isa);
+  std::vector<std::pair<uint32_t, uint32_t>> out(m);
+  for (size_t k = 0; k < m; ++k) out[k] = {il[k], ir[k]};
+  return out;
+}
+
+TEST(MergeSimdTest, IntersectDifferentialRandomStreams) {
+  std::mt19937_64 rng(2024);
+  const MergeIsa kIsas[] = {MergeIsa::kSse, MergeIsa::kAvx2,
+                            MergeIsa::kAvx512};
+  for (int iter = 0; iter < 60; ++iter) {
+    size_t nl = rng() % 500;
+    size_t nr = rng() % 500;
+    bool dups = (iter % 2) == 0;
+    auto l = RandomSortedTimes(rng, nl, dups);
+    auto r = RandomSortedTimes(rng, nr, dups);
+    if (iter % 3 == 2 && !l.empty()) {
+      // Heavy-overlap shape: right side samples the left stream.
+      r.clear();
+      for (int64_t t : l) {
+        if (rng() % 3 != 0) r.push_back(t);
+      }
+    }
+    nl = l.size();
+    nr = r.size();
+    std::vector<uint32_t> il(std::min(nl, nr)), ir(std::min(nl, nr));
+    size_t m = IntersectIndicesInt64Scalar(l.data(), nl, r.data(), nr,
+                                           il.data(), ir.data());
+    std::vector<std::pair<uint32_t, uint32_t>> ref(m);
+    for (size_t k = 0; k < m; ++k) ref[k] = {il[k], ir[k]};
+    for (MergeIsa isa : kIsas) {
+      EXPECT_EQ(IntersectWith(l, r, isa), ref)
+          << "iter=" << iter << " isa=" << static_cast<int>(isa);
+    }
+  }
+}
+
+TEST(MergeSimdTest, IntersectSkewedSizesHitGallop) {
+  std::mt19937_64 rng(77);
+  // 40 short vs 5000 long: the dispatcher takes the galloping path.
+  auto longside = RandomSortedTimes(rng, 5000, /*allow_dups=*/true);
+  std::vector<int64_t> shortside;
+  for (size_t i = 0; i < 40; ++i) {
+    shortside.push_back(longside[(i * 127) % longside.size()]);
+  }
+  std::sort(shortside.begin(), shortside.end());
+  std::vector<uint32_t> il(40), ir(40);
+  size_t m = IntersectIndicesInt64Scalar(shortside.data(), 40, longside.data(),
+                                         longside.size(), il.data(),
+                                         ir.data());
+  std::vector<std::pair<uint32_t, uint32_t>> ref(m);
+  for (size_t k = 0; k < m; ++k) ref[k] = {il[k], ir[k]};
+  EXPECT_EQ(IntersectWith(shortside, longside, MergeIsa::kAvx2), ref);
+  // Swapped operand order exercises the other gallop branch.
+  m = IntersectIndicesInt64Scalar(longside.data(), longside.size(),
+                                  shortside.data(), 40, il.data(), ir.data());
+  ref.assign(m, {});
+  for (size_t k = 0; k < m; ++k) ref[k] = {il[k], ir[k]};
+  EXPECT_EQ(IntersectWith(longside, shortside, MergeIsa::kAvx2), ref);
+}
+
+TEST(MergeSimdTest, IntersectEmptyAndDisjoint) {
+  std::vector<int64_t> a = {1, 2, 3};
+  std::vector<int64_t> b = {10, 20, 30};
+  uint32_t il[3], ir[3];
+  for (MergeIsa isa : {MergeIsa::kScalar, MergeIsa::kSse, MergeIsa::kAvx2,
+                       MergeIsa::kAvx512}) {
+    EXPECT_EQ(IntersectIndicesInt64(a.data(), 3, b.data(), 3, il, ir, isa),
+              0u);
+    EXPECT_EQ(IntersectIndicesInt64(a.data(), 0, b.data(), 3, il, ir, isa),
+              0u);
+    EXPECT_EQ(IntersectIndicesInt64(a.data(), 3, b.data(), 0, il, ir, isa),
+              0u);
+  }
+}
+
+TEST(MergeSimdTest, IntersectDuplicateRunsPairwise) {
+  // Run of 3 vs run of 2 at t=5 pairs element-wise: min(3,2) = 2 pairs.
+  std::vector<int64_t> l = {5, 5, 5, 9};
+  std::vector<int64_t> r = {5, 5, 9, 9};
+  for (MergeIsa isa : {MergeIsa::kScalar, MergeIsa::kSse, MergeIsa::kAvx2,
+                       MergeIsa::kAvx512}) {
+    auto got = IntersectWith(l, r, isa);
+    std::vector<std::pair<uint32_t, uint32_t>> want = {
+        {0, 0}, {1, 1}, {3, 2}};
+    EXPECT_EQ(got, want) << "isa=" << static_cast<int>(isa);
+  }
+}
+
+TEST(MergeSimdTest, UnionDifferentialTieOrder) {
+  std::mt19937_64 rng(99);
+  for (int iter = 0; iter < 40; ++iter) {
+    size_t nl = rng() % 400;
+    size_t nr = rng() % 400;
+    auto lt = RandomSortedTimes(rng, nl, /*allow_dups=*/true);
+    auto rt = RandomSortedTimes(rng, nr, /*allow_dups=*/true);
+    // Values distinguish provenance so tie-order bugs change the output.
+    std::vector<int64_t> lv(nl), rv(nr);
+    for (size_t i = 0; i < nl; ++i) lv[i] = static_cast<int64_t>(i) * 2;
+    for (size_t i = 0; i < nr; ++i) rv[i] = static_cast<int64_t>(i) * 2 + 1;
+    std::vector<int64_t> ref_t(nl + nr), ref_v(nl + nr);
+    ASSERT_EQ(MergeUnionInt64Scalar(lt.data(), lv.data(), nl, rt.data(),
+                                    rv.data(), nr, ref_t.data(),
+                                    ref_v.data()),
+              nl + nr);
+    for (MergeIsa isa : {MergeIsa::kSse, MergeIsa::kAvx2, MergeIsa::kAvx512}) {
+      std::vector<int64_t> got_t(nl + nr), got_v(nl + nr);
+      ASSERT_EQ(MergeUnionInt64(lt.data(), lv.data(), nl, rt.data(),
+                                rv.data(), nr, got_t.data(), got_v.data(),
+                                isa),
+                nl + nr);
+      EXPECT_EQ(got_t, ref_t) << "iter=" << iter;
+      EXPECT_EQ(got_v, ref_v) << "iter=" << iter;
+    }
+  }
+}
+
+std::vector<std::vector<int64_t>> RandomStrictStreams(std::mt19937_64& rng,
+                                                      size_t k,
+                                                      size_t max_n) {
+  std::vector<std::vector<int64_t>> times(k);
+  for (size_t s = 0; s < k; ++s) {
+    size_t n = rng() % (max_n + 1);
+    if (rng() % 8 == 0) n = 0;  // empty streams must be handled
+    times[s] = RandomSortedTimes(rng, n, /*allow_dups=*/false);
+  }
+  return times;
+}
+
+TEST(MergeSimdTest, NwayUnionDifferential) {
+  std::mt19937_64 rng(555);
+  for (int iter = 0; iter < 30; ++iter) {
+    size_t k = 2 + rng() % 15;
+    auto times = RandomStrictStreams(rng, k, 300);
+    std::vector<std::vector<int64_t>> values(k);
+    std::vector<MergeStream> streams(k);
+    size_t total = 0;
+    for (size_t s = 0; s < k; ++s) {
+      values[s].resize(times[s].size());
+      for (size_t i = 0; i < values[s].size(); ++i) {
+        values[s][i] = static_cast<int64_t>(s * 1000 + i);
+      }
+      streams[s] = {times[s].data(), values[s].data(), times[s].size()};
+      total += times[s].size();
+    }
+    std::vector<int64_t> ref_t(total), ref_v(total);
+    ASSERT_EQ(NwayMergeUnionScalar(streams.data(), k, ref_t.data(),
+                                   ref_v.data()),
+              total);
+    // Reference check: stable sort by (time, stream index) gives the same
+    // sequence as the loser tree's tie rule.
+    std::vector<std::tuple<int64_t, size_t, int64_t>> flat;
+    for (size_t s = 0; s < k; ++s) {
+      for (size_t i = 0; i < times[s].size(); ++i) {
+        flat.emplace_back(times[s][i], s, values[s][i]);
+      }
+    }
+    std::sort(flat.begin(), flat.end());
+    for (size_t i = 0; i < total; ++i) {
+      ASSERT_EQ(ref_t[i], std::get<0>(flat[i]));
+      ASSERT_EQ(ref_v[i], std::get<2>(flat[i]));
+    }
+    for (MergeIsa isa : {MergeIsa::kSse, MergeIsa::kAvx2, MergeIsa::kAvx512}) {
+      std::vector<int64_t> got_t(total), got_v(total);
+      ASSERT_EQ(NwayMergeUnion(streams.data(), k, got_t.data(), got_v.data(),
+                               isa),
+                total);
+      EXPECT_EQ(got_t, ref_t) << "iter=" << iter << " k=" << k;
+      EXPECT_EQ(got_v, ref_v) << "iter=" << iter << " k=" << k;
+    }
+  }
+}
+
+TEST(MergeSimdTest, NwayIntersectDifferential) {
+  std::mt19937_64 rng(808);
+  for (int iter = 0; iter < 30; ++iter) {
+    size_t k = 2 + rng() % 10;
+    // Draw all streams from a shared universe with small gaps so the
+    // intersection is usually non-empty.
+    auto universe = RandomSortedTimes(rng, 400, /*allow_dups=*/false);
+    std::vector<std::vector<int64_t>> times(k);
+    std::vector<MergeStream> streams(k);
+    for (size_t s = 0; s < k; ++s) {
+      for (int64_t t : universe) {
+        if (rng() % 4 != 0) times[s].push_back(t);
+      }
+      streams[s] = {times[s].data(), nullptr, times[s].size()};
+    }
+    std::vector<int64_t> ref, got;
+    size_t mref = NwayIntersectScalar(streams.data(), k, &ref);
+    ASSERT_EQ(mref, ref.size());
+    for (MergeIsa isa : {MergeIsa::kSse, MergeIsa::kAvx2, MergeIsa::kAvx512}) {
+      got.clear();
+      size_t m = NwayIntersect(streams.data(), k, &got, isa);
+      ASSERT_EQ(m, got.size());
+      EXPECT_EQ(got, ref) << "iter=" << iter << " k=" << k;
+    }
+  }
+}
+
+TEST(MergeSimdTest, NwayIntersectWithEmptyStreamIsEmpty) {
+  std::vector<int64_t> a = {1, 2, 3};
+  std::vector<MergeStream> streams = {
+      {a.data(), nullptr, a.size()}, {nullptr, nullptr, 0}};
+  std::vector<int64_t> out;
+  EXPECT_EQ(NwayIntersectScalar(streams.data(), 2, &out), 0u);
+  EXPECT_EQ(NwayIntersect(streams.data(), 2, &out, MergeIsa::kAvx2), 0u);
+}
+
+// ------------------------------------------------------------ streamvbyte
+
+TEST(StreamVByteSimdTest, DecodeMatchesScalar) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2";
+  std::mt19937_64 rng(31337);
+  for (int iter = 0; iter < 40; ++iter) {
+    size_t n = 1 + rng() % 2000;
+    std::vector<int64_t> values(n);
+    int64_t v = static_cast<int64_t>(rng());
+    for (auto& x : values) {
+      // Mix of all four byte classes and both signs.
+      switch (rng() % 6) {
+        case 0:
+          v += static_cast<int64_t>(rng() % (1ull << 40)) - (1ll << 39);
+          break;
+        case 1:
+          v += static_cast<int64_t>(rng() % 100000) - 50000;
+          break;
+        default:
+          v += static_cast<int64_t>(rng() % 256) - 128;
+          break;
+      }
+      x = v;
+    }
+    enc::EncodedColumn col =
+        enc::StreamVByteEncoder().Encode(values.data(), n);
+    auto parsed =
+        enc::StreamVByteColumn::Parse(col.bytes.data(), col.bytes.size());
+    ASSERT_TRUE(parsed.ok());
+    std::vector<int64_t> scalar(n), simd(n);
+    ASSERT_TRUE(parsed.value().DecodeAll(scalar.data()).ok());
+    ASSERT_TRUE(StreamVByteDecodeSse(
+        parsed.value().control(), parsed.value().control_bytes(),
+        parsed.value().data(), parsed.value().data_bytes(), n - 1,
+        parsed.value().first_value(), simd.data()));
+    EXPECT_EQ(simd, scalar) << "iter=" << iter << " n=" << n;
+    EXPECT_EQ(simd, values);
+  }
+}
+
+TEST(StreamVByteSimdTest, DecodeExtremesAndSmallTails) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2";
+  std::vector<std::vector<int64_t>> cases = {
+      {0},
+      {INT64_MIN, INT64_MAX},
+      {INT64_MAX, INT64_MIN, 0, -1, 1},
+      {-5, -4, -3, -2, -1, 0, 1, 2, 3},
+  };
+  // Tail lengths 1..19 stress the scalar-tail handoff near the 16-byte
+  // load guard.
+  for (size_t n = 1; n <= 19; ++n) {
+    std::vector<int64_t> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<int64_t>(i * i) * 1000003 - 17;
+    }
+    cases.push_back(std::move(v));
+  }
+  for (const auto& values : cases) {
+    enc::EncodedColumn col =
+        enc::StreamVByteEncoder().Encode(values.data(), values.size());
+    auto parsed =
+        enc::StreamVByteColumn::Parse(col.bytes.data(), col.bytes.size());
+    ASSERT_TRUE(parsed.ok());
+    std::vector<int64_t> simd(values.size());
+    ASSERT_TRUE(StreamVByteDecodeSse(
+        parsed.value().control(), parsed.value().control_bytes(),
+        parsed.value().data(), parsed.value().data_bytes(),
+        values.size() - 1, parsed.value().first_value(), simd.data()));
+    EXPECT_EQ(simd, values);
+  }
+}
+
+TEST(StreamVByteSimdTest, RejectsTruncatedData) {
+  if (!CpuHasAvx2()) GTEST_SKIP() << "no AVX2";
+  std::vector<int64_t> values(100);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i) * 100000;
+  }
+  enc::EncodedColumn col =
+      enc::StreamVByteEncoder().Encode(values.data(), values.size());
+  auto parsed =
+      enc::StreamVByteColumn::Parse(col.bytes.data(), col.bytes.size());
+  ASSERT_TRUE(parsed.ok());
+  std::vector<int64_t> out(values.size());
+  EXPECT_FALSE(StreamVByteDecodeSse(
+      parsed.value().control(), parsed.value().control_bytes(),
+      parsed.value().data(), parsed.value().data_bytes() - 1,
+      values.size() - 1, parsed.value().first_value(), out.data()));
 }
 
 }  // namespace
