@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <mutex>
 #include <shared_mutex>
 #include <utility>
@@ -527,6 +528,31 @@ metrics::IngestStats Database::ingest_stats() const {
     total.ooo_points += s.ooo_points;
     total.ooo_pending += s.ooo_pending;
     total.delete_ranges += s.delete_ranges;
+  }
+  return total;
+}
+
+storage::PruneProbeStats Database::CountMatchingSeries(
+    const storage::PruneProbe& probe,
+    std::vector<std::string>* matched) const {
+  Rep* rep = rep_.get();
+  // Shared engine lock: the shard vector must not move (Reshard rebuilds
+  // it); each store probes its own index under its own shared lock.
+  std::shared_lock<std::shared_mutex> lock(rep->engine_mu);
+  storage::PruneProbeStats total;
+  if (matched != nullptr) matched->clear();
+  std::vector<std::string> shard_matched;
+  for (const auto& shard : rep->shards) {
+    storage::PruneProbeStats s = shard->store.CountMatchingSeries(
+        probe, matched != nullptr ? &shard_matched : nullptr);
+    total.series_total += s.series_total;
+    total.series_matched += s.series_matched;
+    total.probe_nanos += s.probe_nanos;
+    if (matched != nullptr) {
+      matched->insert(matched->end(),
+                      std::make_move_iterator(shard_matched.begin()),
+                      std::make_move_iterator(shard_matched.end()));
+    }
   }
   return total;
 }

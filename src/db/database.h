@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
@@ -156,6 +157,15 @@ class Database {
   /// are created on first use with default (unlimited) TenantOptions.
   Result<exec::QueryResult> Query(const std::string& tenant,
                                   const std::string& sql) const;
+
+  /// Fleet-scale pruning probe: how many series across all shards could
+  /// hold data matching the time/value window — one SIMD sweep per shard
+  /// over the pruning-index envelopes (storage/pruning_index.h), no page
+  /// headers touched. Conservative: never undercounts the series a linear
+  /// header scan would keep. `matched` (optional) collects their names.
+  storage::PruneProbeStats CountMatchingSeries(
+      const storage::PruneProbe& probe,
+      std::vector<std::string>* matched = nullptr) const;
 
   // --- Tenants -----------------------------------------------------------
 

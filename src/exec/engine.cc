@@ -17,6 +17,7 @@
 #include "simd/filter_simd.h"
 #include "simd/merge_simd.h"
 #include "storage/page_builder.h"
+#include "storage/pruning_index.h"
 
 namespace etsqp::exec {
 
@@ -100,12 +101,28 @@ Result<PipelineSpec> BuildFilePipeline(const LogicalPlan& plan,
     const storage::PageHeader& h = refs[p].header;
     ++spec.plan_stats.pages_total;
     spec.plan_stats.tuples_in_pages += h.count;
-    if (!trange.Overlaps(h.min_time, h.max_time) ||
-        (options.prune && plan.value_filter.active &&
-         (h.max_value < plan.value_filter.lo ||
-          h.min_value > plan.value_filter.hi))) {
+    if (!trange.Overlaps(h.min_time, h.max_time)) {
       ++spec.plan_stats.pages_pruned;
       continue;
+    }
+    if (options.prune && plan.value_filter.active) {
+      // Float headers carry bit-cast doubles: the compare runs in the
+      // shared key domain (NaN bounds make the page unprunable), never on
+      // the raw int64 bit patterns.
+      const bool is_float = enc::IsFloatEncoding(h.value_encoding);
+      int64_t lo, hi;
+      int64_t q_lo = plan.value_filter.lo, q_hi = plan.value_filter.hi;
+      if (is_float) {
+        q_lo = storage::OrderedValueKey(
+            static_cast<double>(plan.value_filter.lo));
+        q_hi = storage::OrderedValueKey(
+            static_cast<double>(plan.value_filter.hi));
+      }
+      if (storage::HeaderValueKeys(h, is_float, &lo, &hi) &&
+          (hi < q_lo || lo > q_hi)) {
+        ++spec.plan_stats.pages_pruned;
+        continue;
+      }
     }
     spec.plan_stats.bytes_loaded += h.time_bytes + h.value_bytes;
     int decision = decisions.Decide(ClassifyPage(h));

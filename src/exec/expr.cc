@@ -50,6 +50,9 @@ std::string ExecStats::ToJson() const {
   AppendField(&out, "tail_tuples_scanned", tail_tuples_scanned, &first);
   AppendField(&out, "pages_pruned_deleted", pages_pruned_deleted, &first);
   AppendField(&out, "deleted_tuples_masked", deleted_tuples_masked, &first);
+  AppendField(&out, "index_probe_nanos", index_probe_nanos, &first);
+  AppendField(&out, "series_pruned", series_pruned, &first);
+  AppendField(&out, "pages_pruned_index", pages_pruned_index, &first);
   AppendField(&out, "wall_nanos", wall_nanos, &first);
   AppendField(&out, "threads", static_cast<uint64_t>(threads > 0 ? threads : 0),
               &first);

@@ -44,6 +44,22 @@ TimeRange EffectiveTimeRange(const LogicalPlan& plan) {
   return r;
 }
 
+/// The query's value bounds in the shared pruning key domain: raw int64
+/// for integer series, OrderedValueKey of the widened doubles for float
+/// series. Float page headers carry bit-cast doubles — comparing them as
+/// raw int64 is wrong for negative values (and NaN would mis-prune), so
+/// every header/leaf/envelope compare goes through this one domain.
+void QueryValueKeys(const ValueRange& vrange, bool is_float, int64_t* q_lo,
+                    int64_t* q_hi) {
+  if (is_float) {
+    *q_lo = storage::OrderedValueKey(static_cast<double>(vrange.lo));
+    *q_hi = storage::OrderedValueKey(static_cast<double>(vrange.hi));
+  } else {
+    *q_lo = vrange.lo;
+    *q_hi = vrange.hi;
+  }
+}
+
 /// Collects the non-pruned page indices and counts of one input snapshot.
 /// A page whose whole [min_time, max_time] sits inside a tombstone is
 /// pruned like a header miss; a partially covered page survives but is
@@ -54,6 +70,9 @@ void CollectPages(const storage::SeriesSnapshot& snap,
                   std::vector<size_t>* page_counts,
                   std::vector<char>* page_masked, QueryStats* stats) {
   const auto& pages = snap.pages;
+  const bool value_active = prune_values && vrange.active;
+  int64_t q_lo = 0, q_hi = 0;
+  if (value_active) QueryValueKeys(vrange, snap.is_float, &q_lo, &q_hi);
   for (size_t p = 0; p < pages.size(); ++p) {
     const storage::PageHeader& h = pages[p]->header;
     ++stats->pages_total;
@@ -74,15 +93,81 @@ void CollectPages(const storage::SeriesSnapshot& snap,
     }
     // Header value stats are not valid filters on a masked page: the
     // surviving (non-deleted) subset may have a tighter range.
-    if (!masked && prune_values && vrange.active &&
-        (h.max_value < vrange.lo || h.min_value > vrange.hi)) {
-      ++stats->pages_pruned;
-      continue;
+    if (!masked && value_active) {
+      int64_t lo, hi;
+      if (storage::HeaderValueKeys(h, snap.is_float, &lo, &hi) &&
+          (hi < q_lo || lo > q_hi)) {
+        ++stats->pages_pruned;
+        continue;
+      }
     }
     stats->bytes_loaded += pages[p]->encoded_bytes();
     page_indices->push_back(p);
     page_counts->push_back(h.count);
     page_masked->push_back(masked ? 1 : 0);
+  }
+}
+
+/// Index-probed replacement for CollectPages: one SIMD interval scan over
+/// the snapshot's leaf block (bit-exact with the page headers) decides
+/// time/value survival for every sealed page at once; only survivors touch
+/// a header cacheline. When tombstones exist the scan runs time-only and
+/// the tombstone/value logic replays per survivor — a masked page is kept
+/// even when its value bounds miss, exactly the CollectPages rule, so the
+/// surviving page set is identical to the linear walk's by construction.
+void CollectPagesIndexed(const storage::SeriesSnapshot& snap,
+                         const TimeRange& trange, const ValueRange& vrange,
+                         bool prune_values, simd::PruneIsa isa,
+                         std::vector<size_t>* page_indices,
+                         std::vector<size_t>* page_counts,
+                         std::vector<char>* page_masked, QueryStats* stats) {
+  const storage::PruneLeaves& leaves = *snap.prune_leaves;
+  const size_t n = leaves.count();
+  stats->pages_total += n;
+  stats->tuples_in_pages += leaves.total_tuples();
+  if (n == 0) return;
+  const bool value_active = prune_values && vrange.active;
+  int64_t q_lo = 0, q_hi = 0;
+  if (value_active) QueryValueKeys(vrange, snap.is_float, &q_lo, &q_hi);
+  const bool scan_values = value_active && snap.tombstones.empty();
+  std::vector<uint64_t> mask((n + 63) / 64);
+  size_t survivors = simd::PruneScan(
+      leaves.time_min(), leaves.time_max(), leaves.value_min(),
+      leaves.value_max(), n, trange.lo, trange.hi, scan_values, q_lo, q_hi,
+      mask.data(), isa);
+  stats->pages_pruned += n - survivors;
+  stats->pages_pruned_index += n - survivors;
+  for (size_t w = 0; w < mask.size(); ++w) {
+    uint64_t word = mask[w];
+    while (word != 0) {
+      size_t p = (w << 6) + static_cast<size_t>(__builtin_ctzll(word));
+      word &= word - 1;
+      const storage::PageHeader& h = snap.pages[p]->header;
+      bool masked = false;
+      if (!snap.tombstones.empty() &&
+          storage::IntervalsOverlap(snap.tombstones, h.min_time,
+                                    h.max_time)) {
+        if (storage::IntervalsCover(snap.tombstones, h.min_time,
+                                    h.max_time)) {
+          ++stats->pages_pruned;
+          ++stats->pages_pruned_deleted;
+          continue;
+        }
+        masked = true;
+      }
+      // NaN-bounded float pages carry the full-range sentinel in the leaf
+      // block, so this compare can never drop them.
+      if (!masked && value_active && !scan_values &&
+          (leaves.value_max()[p] < q_lo || leaves.value_min()[p] > q_hi)) {
+        ++stats->pages_pruned;
+        ++stats->pages_pruned_index;
+        continue;
+      }
+      stats->bytes_loaded += snap.pages[p]->encoded_bytes();
+      page_indices->push_back(p);
+      page_counts->push_back(h.count);
+      page_masked->push_back(masked ? 1 : 0);
+    }
   }
 }
 
@@ -142,13 +227,85 @@ Result<PipelineSpec> BuildPipeline(
   TimeRange trange = EffectiveTimeRange(plan);
   DecisionCache decisions(plan, options, &spec);
 
+  // The pruning-index scan is itself a scheduled kernel: one registry
+  // decision (memoized by the "prune" class) covers every input's probe.
+  // Without the registry, a pinned kSerial strategy pins the scalar scan
+  // too; any other pin keeps the best available datapath.
+  int prune_decision = -1;
+  simd::PruneIsa prune_isa = simd::BestPruneIsa();
+  if (options.prune_index) {
+    if (options.use_registry) {
+      prune_decision = decisions.Decide(ClassifyPrune());
+      if (prune_decision >= 0) {
+        prune_isa =
+            PruneEntryIsa(spec.decisions[prune_decision].entry->name());
+      }
+    } else if (options.strategy == DecodeStrategy::kSerial) {
+      prune_isa = simd::PruneIsa::kScalar;
+    }
+  }
+
   for (size_t in = 0; in < inputs.size(); ++in) {
     const storage::SeriesSnapshot& snap = inputs[in];
     std::vector<size_t> page_indices;
     std::vector<size_t> page_counts;
     std::vector<char> page_masked;
-    CollectPages(snap, trange, plan.value_filter, options.prune,
-                 &page_indices, &page_counts, &page_masked, &spec.plan_stats);
+    // Store-resolved snapshots carry the pruning index (leaf block + series
+    // envelope) captured under the same lock as the page list; hand-built
+    // snapshots (file scans, tests) fall back to the linear header walk.
+    const bool use_index = options.prune_index &&
+                           snap.prune_leaves != nullptr &&
+                           snap.prune_leaves->count() == snap.pages.size();
+    if (use_index) {
+      const uint64_t probe_t0 = metrics::NowNanos();
+      // Tombstones disable the envelope's value dimension: the linear walk
+      // keeps a partially deleted page no matter its value bounds (masked
+      // drain), so a value-based series skip could drop a page the linear
+      // scan schedules. Time pruning is unaffected — deletes never extend
+      // a series' time range.
+      const bool value_active = options.prune && plan.value_filter.active &&
+                                snap.tombstones.empty();
+      int64_t q_lo = 0, q_hi = 0;
+      if (value_active) {
+        QueryValueKeys(plan.value_filter, snap.is_float, &q_lo, &q_hi);
+      }
+      // Level-1 check: the series envelope conservatively covers every
+      // point ever ingested (pages, tail, OOO buffers), so an envelope
+      // miss skips the whole input — leaf scan, headers and tail alike.
+      const storage::SeriesSummary& sum = snap.summary;
+      const bool series_live =
+          sum.HasData() && trange.Overlaps(sum.time_min, sum.time_max) &&
+          (!value_active ||
+           (sum.value_min_key <= q_hi && sum.value_max_key >= q_lo));
+      if (!series_live) {
+        ++spec.plan_stats.series_pruned;
+        spec.plan_stats.pages_total += snap.prune_leaves->count();
+        spec.plan_stats.pages_pruned += snap.prune_leaves->count();
+        spec.plan_stats.pages_pruned_index += snap.prune_leaves->count();
+        spec.plan_stats.tuples_in_pages +=
+            snap.prune_leaves->total_tuples() + snap.tail_times.size();
+        spec.plan_stats.tail_tuples += snap.tail_times.size();
+        spec.plan_stats.index_probe_nanos += metrics::NowNanos() - probe_t0;
+        decisions.Cover(prune_decision, snap.prune_leaves->count(), 1);
+        continue;
+      }
+      CollectPagesIndexed(snap, trange, plan.value_filter, options.prune,
+                          prune_isa, &page_indices, &page_counts,
+                          &page_masked, &spec.plan_stats);
+      const uint64_t probe_ns = metrics::NowNanos() - probe_t0;
+      spec.plan_stats.index_probe_nanos += probe_ns;
+      decisions.Cover(prune_decision, snap.prune_leaves->count(),
+                      snap.prune_leaves->count());
+      if (options.collect_stats && prune_decision >= 0) {
+        NoteDecisionOutcome(spec.decisions[prune_decision],
+                            snap.prune_leaves->count(), probe_ns,
+                            &spec.plan_stats);
+      }
+    } else {
+      CollectPages(snap, trange, plan.value_filter, options.prune,
+                   &page_indices, &page_counts, &page_masked,
+                   &spec.plan_stats);
+    }
     // Registry lookup per surviving page (memoized per page class). Masked
     // pages bypass the registry — they drain through the scalar masked
     // path, not a vectorized kernel.

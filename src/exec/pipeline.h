@@ -41,6 +41,13 @@ struct PipelineOptions {
   /// Measured per-(entry, page-class) costs for registry proposals; null =
   /// the static Proposition 1 CostConstants fallback.
   std::shared_ptr<const CostCalibration> calibration;
+  /// Probe the pruning index (storage/pruning_index.h) before building
+  /// jobs: a SIMD interval scan over the snapshot's leaf blocks replaces
+  /// the linear page-header walk, and series whose envelope misses the
+  /// filters are skipped without touching their pages at all. On by
+  /// default — turning it off forces the linear header walk (the
+  /// differential-testing baseline; results must be byte-identical).
+  bool prune_index = true;
 
   /// Canonical option sets for the evaluation baselines (Section VII-A).
   static PipelineOptions Etsqp(int threads = 1);
@@ -65,6 +72,10 @@ struct PipelineOptions {
   }
   PipelineOptions& WithPrune(bool on) {
     prune = on;
+    return *this;
+  }
+  PipelineOptions& WithPruneIndex(bool on) {
+    prune_index = on;
     return *this;
   }
   PipelineOptions& WithFusion(bool on) {

@@ -1,0 +1,112 @@
+#include "simd/prune_simd.h"
+
+#include <immintrin.h>
+
+#include "common/cpu.h"
+#include "simd/transposed_unpack_avx512.h"
+
+namespace etsqp::simd {
+
+namespace {
+
+inline size_t MaskWords(size_t n) { return (n + 63) / 64; }
+
+inline bool EntrySurvives(const int64_t* time_min, const int64_t* time_max,
+                          const int64_t* value_min, const int64_t* value_max,
+                          size_t i, int64_t t_lo, int64_t t_hi,
+                          bool value_active, int64_t v_lo, int64_t v_hi) {
+  if (time_min[i] > t_hi || time_max[i] < t_lo) return false;
+  if (value_active && (value_min[i] > v_hi || value_max[i] < v_lo)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PruneIsa BestPruneIsa() {
+  if (!UseAvx2()) return PruneIsa::kScalar;
+  return Avx512Available() ? PruneIsa::kAvx512 : PruneIsa::kAvx2;
+}
+
+size_t PruneScanScalar(const int64_t* time_min, const int64_t* time_max,
+                       const int64_t* value_min, const int64_t* value_max,
+                       size_t n, int64_t t_lo, int64_t t_hi, bool value_active,
+                       int64_t v_lo, int64_t v_hi, uint64_t* survivors) {
+  for (size_t w = 0; w < MaskWords(n); ++w) survivors[w] = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (EntrySurvives(time_min, time_max, value_min, value_max, i, t_lo, t_hi,
+                      value_active, v_lo, v_hi)) {
+      survivors[i >> 6] |= uint64_t{1} << (i & 63);
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t PruneScanAvx2(const int64_t* time_min, const int64_t* time_max,
+                     const int64_t* value_min, const int64_t* value_max,
+                     size_t n, int64_t t_lo, int64_t t_hi, bool value_active,
+                     int64_t v_lo, int64_t v_hi, uint64_t* survivors) {
+  for (size_t w = 0; w < MaskWords(n); ++w) survivors[w] = 0;
+  const __m256i t_lo_v = _mm256_set1_epi64x(t_lo);
+  const __m256i t_hi_v = _mm256_set1_epi64x(t_hi);
+  const __m256i v_lo_v = _mm256_set1_epi64x(v_lo);
+  const __m256i v_hi_v = _mm256_set1_epi64x(v_hi);
+  size_t count = 0;
+  size_t i = 0;
+  // 4 entries per step; the step divides 64, so the 4 live bits never
+  // straddle a mask word.
+  for (; i + 4 <= n; i += 4) {
+    __m256i tmin = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(time_min + i));
+    __m256i tmax = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(time_max + i));
+    __m256i dead = _mm256_or_si256(_mm256_cmpgt_epi64(tmin, t_hi_v),
+                                   _mm256_cmpgt_epi64(t_lo_v, tmax));
+    if (value_active) {
+      __m256i vmin = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(value_min + i));
+      __m256i vmax = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(value_max + i));
+      dead = _mm256_or_si256(
+          dead, _mm256_or_si256(_mm256_cmpgt_epi64(vmin, v_hi_v),
+                                _mm256_cmpgt_epi64(v_lo_v, vmax)));
+    }
+    uint64_t dead_bits =
+        static_cast<uint32_t>(_mm256_movemask_pd(_mm256_castsi256_pd(dead)));
+    uint64_t live = ~dead_bits & 0xFull;
+    survivors[i >> 6] |= live << (i & 63);
+    count += static_cast<size_t>(__builtin_popcountll(live));
+  }
+  for (; i < n; ++i) {
+    if (EntrySurvives(time_min, time_max, value_min, value_max, i, t_lo, t_hi,
+                      value_active, v_lo, v_hi)) {
+      survivors[i >> 6] |= uint64_t{1} << (i & 63);
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t PruneScan(const int64_t* time_min, const int64_t* time_max,
+                 const int64_t* value_min, const int64_t* value_max, size_t n,
+                 int64_t t_lo, int64_t t_hi, bool value_active, int64_t v_lo,
+                 int64_t v_hi, uint64_t* survivors, PruneIsa isa) {
+  if (isa == PruneIsa::kAvx512 && !Avx512Available()) isa = PruneIsa::kAvx2;
+  if (isa == PruneIsa::kAvx2 && !UseAvx2()) isa = PruneIsa::kScalar;
+  switch (isa) {
+    case PruneIsa::kAvx512:
+      return PruneScanAvx512(time_min, time_max, value_min, value_max, n,
+                             t_lo, t_hi, value_active, v_lo, v_hi, survivors);
+    case PruneIsa::kAvx2:
+      return PruneScanAvx2(time_min, time_max, value_min, value_max, n, t_lo,
+                           t_hi, value_active, v_lo, v_hi, survivors);
+    default:
+      return PruneScanScalar(time_min, time_max, value_min, value_max, n,
+                             t_lo, t_hi, value_active, v_lo, v_hi, survivors);
+  }
+}
+
+}  // namespace etsqp::simd

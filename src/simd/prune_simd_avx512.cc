@@ -1,0 +1,48 @@
+#include "simd/prune_simd.h"
+
+#include <immintrin.h>
+
+namespace etsqp::simd {
+
+// 8 bounds per step: two (or four, with a value filter) cmp_epi64_mask ops
+// produce an 8-bit dead mask directly — no movemask extraction. One 64-wide
+// index node is covered by 8 iterations.
+size_t PruneScanAvx512(const int64_t* time_min, const int64_t* time_max,
+                       const int64_t* value_min, const int64_t* value_max,
+                       size_t n, int64_t t_lo, int64_t t_hi, bool value_active,
+                       int64_t v_lo, int64_t v_hi, uint64_t* survivors) {
+  for (size_t w = 0; w < (n + 63) / 64; ++w) survivors[w] = 0;
+  const __m512i t_lo_v = _mm512_set1_epi64(t_lo);
+  const __m512i t_hi_v = _mm512_set1_epi64(t_hi);
+  const __m512i v_lo_v = _mm512_set1_epi64(v_lo);
+  const __m512i v_hi_v = _mm512_set1_epi64(v_hi);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i tmin = _mm512_loadu_si512(time_min + i);
+    __m512i tmax = _mm512_loadu_si512(time_max + i);
+    __mmask8 dead = _mm512_cmpgt_epi64_mask(tmin, t_hi_v) |
+                    _mm512_cmpgt_epi64_mask(t_lo_v, tmax);
+    if (value_active) {
+      __m512i vmin = _mm512_loadu_si512(value_min + i);
+      __m512i vmax = _mm512_loadu_si512(value_max + i);
+      dead |= _mm512_cmpgt_epi64_mask(vmin, v_hi_v) |
+              _mm512_cmpgt_epi64_mask(v_lo_v, vmax);
+    }
+    uint64_t live = static_cast<uint8_t>(~static_cast<unsigned>(dead));
+    survivors[i >> 6] |= live << (i & 63);
+    count += static_cast<size_t>(__builtin_popcountll(live));
+  }
+  for (; i < n; ++i) {
+    bool live = time_min[i] <= t_hi && time_max[i] >= t_lo &&
+                (!value_active ||
+                 (value_min[i] <= v_hi && value_max[i] >= v_lo));
+    if (live) {
+      survivors[i >> 6] |= uint64_t{1} << (i & 63);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace etsqp::simd

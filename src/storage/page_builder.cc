@@ -1,7 +1,9 @@
 #include "storage/page_builder.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/bitstream.h"
 #include "encoding/delta_rle.h"
@@ -101,11 +103,27 @@ Result<Page> BuildPageF64(const int64_t* times, const double* values,
   h.value_encoding = options.value_encoding;
   h.min_time = times[0];
   h.max_time = times[n - 1];
-  double mn = values[0], mx = values[0];
-  for (size_t i = 1; i < n; ++i) {
-    mn = std::min(mn, values[i]);
-    mx = std::max(mx, values[i]);
+  // NaN anywhere in the page poisons both bounds explicitly: finite bounds
+  // over the remaining values would let value pruning drop a page whose
+  // NaN tuples pass every filter compare. NaN bounds are the "never
+  // value-prune this page" signal (storage/pruning_index.h).
+  bool has_nan = false;
+  double mn = 0, mx = 0;
+  bool any = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isnan(values[i])) {
+      has_nan = true;
+      continue;
+    }
+    if (!any) {
+      mn = mx = values[i];
+      any = true;
+    } else {
+      mn = std::min(mn, values[i]);
+      mx = std::max(mx, values[i]);
+    }
   }
+  if (has_nan) mn = mx = std::numeric_limits<double>::quiet_NaN();
   std::memcpy(&h.min_value, &mn, 8);
   std::memcpy(&h.max_value, &mx, 8);
 

@@ -1,6 +1,7 @@
 #include "storage/series_store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -110,6 +111,8 @@ Status SeriesStore::CreateSeries(const std::string& name,
   Series s;
   s.name = name;
   s.options = options;
+  s.prune_slot = st->prune_index.AddSeries(name, s.is_float());
+  s.prune_leaves = PruneLeaves::Build({}, s.is_float());
   st->series.emplace(name, std::move(s));
   return Status::Ok();
 }
@@ -122,8 +125,71 @@ Status SeriesStore::CreateSeriesForReplay(const std::string& name,
   Series s;
   s.name = name;
   s.options = options;
+  s.prune_slot = st->prune_index.AddSeries(name, s.is_float());
+  s.prune_leaves = PruneLeaves::Build({}, s.is_float());
   st->series.emplace(name, std::move(s));
   return Status::Ok();
+}
+
+void SeriesStore::RebuildLeavesLocked(Series* s) {
+  s->prune_leaves = PruneLeaves::Build(s->pages, s->is_float());
+}
+
+void SeriesStore::WidenEnvelopeLocked(State* st, const Series& s,
+                                      const int64_t* times,
+                                      const int64_t* ivalues,
+                                      const double* fvalues, size_t n) {
+  if (n == 0) return;
+  int64_t t_min = times[0], t_max = times[0];
+  for (size_t i = 1; i < n; ++i) {
+    if (times[i] < t_min) t_min = times[i];
+    if (times[i] > t_max) t_max = times[i];
+  }
+  st->prune_index.WidenTime(s.prune_slot, t_min, t_max);
+  if (fvalues != nullptr) {
+    bool any = false, has_nan = false;
+    double lo = 0, hi = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double v = fvalues[i];
+      if (std::isnan(v)) {
+        has_nan = true;
+        continue;
+      }
+      if (!any) {
+        lo = hi = v;
+        any = true;
+      } else {
+        if (v < lo) lo = v;
+        if (v > hi) hi = v;
+      }
+    }
+    if (has_nan) {
+      // NaN can slip past any finite bound, so the series can never again
+      // be value-pruned at level 1 (the pages keep their own verdicts).
+      st->prune_index.InvalidateValue(s.prune_slot);
+    } else if (any) {
+      st->prune_index.WidenValue(s.prune_slot, OrderedValueKey(lo),
+                                 OrderedValueKey(hi));
+    }
+  } else if (ivalues != nullptr) {
+    int64_t lo = ivalues[0], hi = ivalues[0];
+    for (size_t i = 1; i < n; ++i) {
+      if (ivalues[i] < lo) lo = ivalues[i];
+      if (ivalues[i] > hi) hi = ivalues[i];
+    }
+    st->prune_index.WidenValue(s.prune_slot, lo, hi);
+  }
+}
+
+void SeriesStore::WidenEnvelopeFromHeaderLocked(State* st, const Series& s,
+                                                const PageHeader& h) {
+  st->prune_index.WidenTime(s.prune_slot, h.min_time, h.max_time);
+  int64_t lo, hi;
+  if (HeaderValueKeys(h, s.is_float(), &lo, &hi)) {
+    st->prune_index.WidenValue(s.prune_slot, lo, hi);
+  } else {
+    st->prune_index.InvalidateValue(s.prune_slot);
+  }
 }
 
 Status SeriesStore::BuildSegmentPage(const SealSegment& seg,
@@ -151,6 +217,7 @@ void SeriesStore::NotePageInstalledLocked(State* st) {
 }
 
 void SeriesStore::DrainReadySegmentsLocked(State* st, Series* s) {
+  bool installed = false;
   while (!s->sealing.empty() && s->sealing.front()->ready) {
     SealSegment& front = *s->sealing.front();
     if (!front.error.ok()) {
@@ -159,12 +226,14 @@ void SeriesStore::DrainReadySegmentsLocked(State* st, Series* s) {
       s->total_points += front.page->header.count;
       s->pages.push_back(std::move(front.page));
       ++s->epoch;  // seal install: cached results over the tail go stale
+      installed = true;
       ++st->ingest.pages_sealed;
       ++st->ingest.background_seals;
       NotePageInstalledLocked(st);
     }
     s->sealing.pop_front();
   }
+  if (installed) RebuildLeavesLocked(s);
 }
 
 Status SeriesStore::SealBufferLocked(State* st, Series* s) {
@@ -188,6 +257,7 @@ Status SeriesStore::SealBufferLocked(State* st, Series* s) {
     s->total_points += page->header.count;
     s->pages.push_back(std::move(page));
     ++s->epoch;
+    RebuildLeavesLocked(s);
     ++st->ingest.pages_sealed;
     NotePageInstalledLocked(st);
     return Status::Ok();
@@ -252,6 +322,9 @@ Status SeriesStore::AppendLocked(State* st, const std::string& name,
     ooo_n = static_cast<size_t>(
         std::upper_bound(times, times + n, s.last_time) - times);
   }
+  // The batch is accepted from here on (a WAL failure below still rejects
+  // it — over-widening the envelope is conservative, never incorrect).
+  WidenEnvelopeLocked(st, s, times, ivalues, fvalues, n);
   if (ooo_n > 0) {
     if (st->wal != nullptr) {
       Status logged =
@@ -531,6 +604,7 @@ Status SeriesStore::ApplyReplayBatchOoo(const std::string& name,
       return Status::Corruption("wal: overlap record not increasing");
     }
   }
+  WidenEnvelopeLocked(st, s, times, ivalues, fvalues, apply);
   MergeOooLocked(&s, times, ivalues, fvalues, apply);
   s.appended_points += apply;
   *points_applied = apply;
@@ -651,6 +725,7 @@ Status SeriesStore::InstallCompaction(const CompactionCapture& capture,
     }
   }
   ++s.epoch;  // rewritten pages: every cached result over them goes stale
+  RebuildLeavesLocked(&s);
   return Status::Ok();
 }
 
@@ -693,6 +768,11 @@ Status SeriesStore::RestoreSeriesMeta(const std::string& name,
   if (ttl_nanos > 0) s.ttl_nanos = ttl_nanos;
   for (const TimeInterval& t : tombstones) AddInterval(&s.tombstones, t);
   if (!ooo_times.empty()) {
+    WidenEnvelopeLocked(st, s, ooo_times.data(),
+                        ooo_values.empty() ? nullptr : ooo_values.data(),
+                        ooo_values_f64.empty() ? nullptr
+                                               : ooo_values_f64.data(),
+                        ooo_times.size());
     MergeOooLocked(&s, ooo_times.data(),
                    ooo_values.empty() ? nullptr : ooo_values.data(),
                    ooo_values_f64.empty() ? nullptr : ooo_values_f64.data(),
@@ -734,6 +814,7 @@ Status SeriesStore::ApplyReplayBatch(const std::string& name,
   if (!ordered.ok()) {
     return Status::Corruption("wal: " + std::string(ordered.message()));
   }
+  WidenEnvelopeLocked(st, s, times, ivalues, fvalues, apply);
   for (size_t i = 0; i < apply; ++i) {
     s.buf_times.push_back(times[i]);
     if (s.is_float()) {
@@ -788,8 +869,10 @@ Status SeriesStore::AddPage(const std::string& name, Page page) {
   s.total_points += count;
   s.appended_points += count;
   if (max_time > s.last_time) s.last_time = max_time;
+  WidenEnvelopeFromHeaderLocked(st, s, page.header);
   s.pages.push_back(std::make_shared<const Page>(std::move(page)));
   ++s.epoch;
+  RebuildLeavesLocked(&s);
   NotePageInstalledLocked(st);
   return Status::Ok();
 }
@@ -804,8 +887,10 @@ Status SeriesStore::AddPageShared(const std::string& name,
   s.total_points += page->header.count;
   s.appended_points += page->header.count;
   if (page->header.max_time > s.last_time) s.last_time = page->header.max_time;
+  WidenEnvelopeFromHeaderLocked(st, s, page->header);
   s.pages.push_back(std::move(page));
   ++s.epoch;
+  RebuildLeavesLocked(&s);
   NotePageInstalledLocked(st);
   return Status::Ok();
 }
@@ -824,6 +909,12 @@ Result<SeriesSnapshot> SeriesStore::GetSnapshot(
   snap.epoch = s.epoch;
   snap.pages = s.pages;  // shared, immutable
   snap.tombstones = EffectiveTombstones(s);
+  // Leaf block and page vector are swapped together under the unique lock,
+  // so this capture is always bit-consistent with snap.pages.
+  snap.prune_leaves = s.prune_leaves != nullptr
+                          ? s.prune_leaves
+                          : PruneLeaves::Build(s.pages, snap.is_float);
+  snap.summary = st->prune_index.GetSummary(s.prune_slot);
 
   size_t tail = s.buf_times.size();
   for (const auto& seg : s.sealing) tail += seg->times.size();
@@ -867,10 +958,26 @@ Result<SeriesSnapshot> SeriesStore::GetSnapshot(
 
   if (!snap.tail_times.empty()) {
     if (snap.is_float) {
-      double lo = snap.tail_values_f64[0], hi = lo;
+      bool any = false, has_nan = false;
+      double lo = 0, hi = 0;
       for (double v : snap.tail_values_f64) {
-        if (v < lo) lo = v;
-        if (v > hi) hi = v;
+        if (std::isnan(v)) {
+          has_nan = true;
+          continue;
+        }
+        if (!any) {
+          lo = hi = v;
+          any = true;
+        } else {
+          if (v < lo) lo = v;
+          if (v > hi) hi = v;
+        }
+      }
+      if (has_nan) {
+        // A NaN passes every value filter compare downstream, so finite
+        // bounds over the rest of the tail would let pruning drop it.
+        // NaN bounds make every prune comparison false — tail survives.
+        lo = hi = std::numeric_limits<double>::quiet_NaN();
       }
       snap.tail_min_value_f64 = lo;
       snap.tail_max_value_f64 = hi;
@@ -926,6 +1033,21 @@ uint64_t SeriesStore::SeriesEpoch(const std::string& name) const {
   std::shared_lock<std::shared_mutex> lock(st->mu);
   auto it = st->series.find(name);
   return it == st->series.end() ? 0 : it->second.epoch;
+}
+
+PruneProbeStats SeriesStore::CountMatchingSeries(
+    const PruneProbe& probe, std::vector<std::string>* matched) const {
+  State* st = state_.get();
+  std::shared_lock<std::shared_mutex> lock(st->mu);
+  std::vector<size_t> slots;
+  PruneProbeStats stats = st->prune_index.CountMatching(
+      probe, simd::BestPruneIsa(), matched != nullptr ? &slots : nullptr);
+  if (matched != nullptr) {
+    matched->clear();
+    matched->reserve(slots.size());
+    for (size_t slot : slots) matched->push_back(st->prune_index.name(slot));
+  }
+  return stats;
 }
 
 uint64_t SeriesStore::TailPoints(const std::string& name) const {

@@ -19,6 +19,11 @@
 
 #include "common/bitstream.h"
 #include "db/database.h"
+#include "db/iotdb_lite.h"
+#include "exec/engine.h"
+#include "exec/expr.h"
+#include "exec/pipe_builder.h"
+#include "exec/pipeline.h"
 #include "storage/codec_advisor.h"
 #include "storage/compaction.h"
 #include "storage/page.h"
@@ -779,6 +784,167 @@ TEST(CompactionConcurrencyTest, QueriesRaceCompactionDeletesAndOoo) {
   for (auto& th : readers) th.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GT(dbx.compaction_stats().runs, 0u);
+}
+
+// --- Pruning-index staleness (runs under TSan in CI, ctest label
+// `pruning`): compaction installs splice a rewritten page list and must
+// swap in a rebuilt pruning-index leaf block under the same unique lock.
+// Snapshots taken during installs must stay bit-consistent (leaves mirror
+// headers) and schedule the same jobs with the index on and off.
+
+/// True when both pipelines schedule the same (page, slice, tail, masked)
+/// jobs — the pruning-index contract.
+bool SameJobs(const exec::PipelineSpec& a, const exec::PipelineSpec& b) {
+  if (a.jobs.size() != b.jobs.size()) return false;
+  for (size_t j = 0; j < a.jobs.size(); ++j) {
+    if (a.jobs[j].input != b.jobs[j].input ||
+        a.jobs[j].page_index != b.jobs[j].page_index ||
+        a.jobs[j].begin != b.jobs[j].begin ||
+        a.jobs[j].end != b.jobs[j].end || a.jobs[j].tail != b.jobs[j].tail ||
+        a.jobs[j].masked != b.jobs[j].masked) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PruningStalenessTest, SnapshotDuringCompactionInstallStaysConsistent) {
+  db::IotDbLite dbi(db::IotDbLite::Mode::kSimd, 2);
+  SeriesStore::SeriesOptions opt;
+  opt.page_size = 64;
+  opt.allow_out_of_order = true;
+  ASSERT_TRUE(dbi.CreateTimeseries("s", opt).ok());
+  const int kN = 2048;
+  std::vector<int64_t> t(kN), v(kN);
+  for (int i = 0; i < kN; ++i) {
+    t[i] = i * 4;  // gaps leave room for late arrivals
+    v[i] = 1;
+  }
+  ASSERT_TRUE(dbi.InsertBatch("s", t.data(), v.data(), kN).ok());
+  ASSERT_TRUE(dbi.Flush().ok());
+  ASSERT_TRUE(dbi.EnableCompaction().ok());
+
+  exec::LogicalPlan plan =
+      exec::LogicalPlan::Aggregate("s", exec::AggFunc::kSum);
+  plan.value_filter.active = true;
+  plan.value_filter.lo = 1;
+  plan.value_filter.hi = 1;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread mutator([&] {
+    for (int round = 0; round < 20 && !stop.load(); ++round) {
+      int64_t late = round * 32 + 2;  // time ≡ 2 mod 4: never sealed slots
+      if (!dbi.Insert("s", late, 0).ok()) ++failures;
+      if (!dbi.DeleteRange("s", late, late).ok()) ++failures;
+      if (!dbi.Compact().ok()) ++failures;
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        Result<SeriesSnapshot> snap = dbi.store()->GetSnapshot("s");
+        if (!snap.ok()) {
+          ++failures;
+          break;
+        }
+        const SeriesSnapshot& s = snap.value();
+        if (s.prune_leaves == nullptr ||
+            s.prune_leaves->count() != s.pages.size()) {
+          ++failures;  // stale leaf block escaped the install lock
+          continue;
+        }
+        for (size_t p = 0; p < s.pages.size(); ++p) {
+          const PageHeader& h = s.pages[p]->header;
+          if (s.prune_leaves->time_min()[p] != h.min_time ||
+              s.prune_leaves->time_max()[p] != h.max_time) {
+            ++failures;
+          }
+        }
+        std::vector<SeriesSnapshot> inputs{s};
+        auto on = exec::BuildPipeline(
+            plan, inputs, exec::PipelineOptions::Etsqp(1).WithPruneIndex(true));
+        auto off = exec::BuildPipeline(
+            plan, inputs,
+            exec::PipelineOptions::Etsqp(1).WithPruneIndex(false));
+        if (!on.ok() || !off.ok() ||
+            !SameJobs(on.value(), off.value())) {
+          ++failures;
+        }
+      }
+    });
+  }
+  mutator.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All late points were deleted again: SUM of the survivors is kN.
+  Result<exec::QueryResult> qr = dbi.Query("SELECT SUM(s) FROM s;");
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr.value().columns[0][0], static_cast<double>(kN));
+}
+
+TEST(PruningStalenessTest, DeleteRangeKeepsIndexConsistent) {
+  SeriesStore store;
+  SeriesStore::SeriesOptions opt;
+  opt.page_size = 16;
+  ASSERT_TRUE(store.CreateSeries("s", opt).ok());
+  std::vector<int64_t> times(64), values(64);
+  for (int64_t i = 0; i < 64; ++i) {
+    times[i] = i;
+    values[i] = 100 + i;
+  }
+  ASSERT_TRUE(store.AppendBatch("s", times.data(), values.data(), 64).ok());
+  ASSERT_TRUE(store.Flush().ok());
+
+  // Page 1 fully deleted, page 2 partially: the index must keep page 2
+  // even though the tombstone makes its header value bounds unreliable.
+  ASSERT_TRUE(store.DeleteRange("s", 16, 35).ok());
+
+  Result<SeriesSnapshot> snap = store.GetSnapshot("s");
+  ASSERT_TRUE(snap.ok());
+  const SeriesSnapshot& s = snap.value();
+  ASSERT_NE(s.prune_leaves, nullptr);
+  EXPECT_EQ(s.prune_leaves->count(), s.pages.size());
+  // The envelope is conservative: deletes never shrink it.
+  EXPECT_LE(s.summary.time_min, 0);
+  EXPECT_GE(s.summary.time_max, 63);
+
+  exec::LogicalPlan plan =
+      exec::LogicalPlan::Aggregate("s", exec::AggFunc::kSum);
+  plan.value_filter.active = true;
+  plan.value_filter.lo = 116;  // page 1's values (fully deleted) ...
+  plan.value_filter.hi = 140;  // ... through page 2's surviving half
+  std::vector<SeriesSnapshot> inputs{s};
+  auto on = exec::BuildPipeline(
+      plan, inputs, exec::PipelineOptions::Etsqp(1).WithPruneIndex(true));
+  auto off = exec::BuildPipeline(
+      plan, inputs, exec::PipelineOptions::Etsqp(1).WithPruneIndex(false));
+  ASSERT_TRUE(on.ok());
+  ASSERT_TRUE(off.ok());
+  EXPECT_TRUE(SameJobs(on.value(), off.value()));
+  EXPECT_EQ(on.value().plan_stats.pages_pruned,
+            off.value().plan_stats.pages_pruned);
+
+  // Identical query results with the index on and off, before and after
+  // the tombstones become physical drops.
+  for (int pass = 0; pass < 2; ++pass) {
+    double want = 0;
+    for (int64_t i = 36; i <= 40; ++i) want += 100 + i;  // 136..140 survive
+    for (bool index_on : {true, false}) {
+      exec::Engine engine(
+          exec::PipelineOptions::Etsqp(1).WithPruneIndex(index_on));
+      Result<exec::QueryResult> r = engine.Execute(plan, store);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.value().columns[0][0], want)
+          << "pass=" << pass << " index=" << index_on;
+    }
+    if (pass == 0) {
+      Compactor compactor(&store, CompactionOptions{});
+      ASSERT_TRUE(compactor.CompactSeries("s").ok());
+    }
+  }
 }
 
 }  // namespace

@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "db/iotdb_lite.h"
+#include "exec/expr.h"
+#include "exec/pipe_builder.h"
+#include "exec/pipeline.h"
 #include "storage/series_store.h"
 #include "storage/wal.h"
 
@@ -471,6 +474,98 @@ TEST(IotDbLiteConcurrencyTest, ConcurrentWritersDistinctSeries) {
   tb.join();
   EXPECT_EQ(QueryScalar(dbi, "SELECT SUM(a) FROM a;"), 2000.0);
   EXPECT_EQ(QueryScalar(dbi, "SELECT SUM(b) FROM b;"), 4000.0);
+}
+
+// --- Pruning-index staleness (runs under TSan in CI, ctest label
+// `pruning`): a snapshot captured while the background sealer installs
+// pages must carry a pruning-index leaf block that is bit-consistent with
+// its own page vector — SeriesStore swaps both under the same unique lock —
+// and must compile the same job set with the index on and off. A stale leaf
+// block would either diverge from the headers or change the scheduled jobs.
+
+TEST(PruningStalenessTest, SnapshotDuringBackgroundSealStaysConsistent) {
+  db::IotDbLite dbi(db::IotDbLite::Mode::kSimd, 2);
+  storage::SeriesStore::SeriesOptions opt;
+  opt.page_size = 64;
+  ASSERT_TRUE(dbi.CreateTimeseries("s", opt).ok());
+  db::IotDbLite::IngestConfig cfg;  // background sealing on, no WAL
+  cfg.background_seal = true;
+  ASSERT_TRUE(dbi.EnableIngest(cfg).ok());
+
+  exec::LogicalPlan plan =
+      exec::LogicalPlan::Aggregate("s", exec::AggFunc::kSum);
+  plan.time_filter.lo = 500;
+  plan.time_filter.hi = 2500;
+  plan.value_filter.active = true;
+  plan.value_filter.lo = 10;
+  plan.value_filter.hi = 60;
+
+  constexpr int64_t kPoints = 6000;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    for (int64_t i = 0; i < kPoints; ++i) {
+      if (!dbi.Insert("s", i, i % 100).ok()) {
+        failures.fetch_add(1);
+        break;
+      }
+    }
+    done.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        Result<SeriesSnapshot> snap = dbi.store()->GetSnapshot("s");
+        if (!snap.ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+        const SeriesSnapshot& s = snap.value();
+        if (s.prune_leaves == nullptr ||
+            s.prune_leaves->count() != s.pages.size()) {
+          failures.fetch_add(1);  // leaf block escaped the install lock
+          continue;
+        }
+        for (size_t p = 0; p < s.pages.size(); ++p) {
+          const storage::PageHeader& h = s.pages[p]->header;
+          if (s.prune_leaves->time_min()[p] != h.min_time ||
+              s.prune_leaves->time_max()[p] != h.max_time ||
+              s.prune_leaves->value_min()[p] != h.min_value ||
+              s.prune_leaves->value_max()[p] != h.max_value) {
+            failures.fetch_add(1);
+          }
+        }
+        // Same snapshot, index on vs off: identical scheduled jobs.
+        std::vector<SeriesSnapshot> inputs{s};
+        auto on = exec::BuildPipeline(
+            plan, inputs, exec::PipelineOptions::Etsqp(1).WithPruneIndex(true));
+        auto off = exec::BuildPipeline(
+            plan, inputs,
+            exec::PipelineOptions::Etsqp(1).WithPruneIndex(false));
+        if (!on.ok() || !off.ok() ||
+            on.value().jobs.size() != off.value().jobs.size()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (size_t j = 0; j < on.value().jobs.size(); ++j) {
+          const exec::PipeJob& a = on.value().jobs[j];
+          const exec::PipeJob& b = off.value().jobs[j];
+          if (a.page_index != b.page_index || a.begin != b.begin ||
+              a.end != b.end || a.tail != b.tail || a.masked != b.masked) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Sealed world after the dust settles: index-on still plans everything.
+  ASSERT_TRUE(dbi.Flush().ok());
+  EXPECT_EQ(QueryScalar(dbi, "SELECT COUNT(s) FROM s;"),
+            static_cast<double>(kPoints));
 }
 
 }  // namespace
